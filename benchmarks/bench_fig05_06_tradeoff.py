@@ -1,0 +1,53 @@
+"""Figs 5/6 — the queuing-delay vs cold-start tradeoff (§2.4).
+
+Paper: replay under a modified FaasCache that routes would-be cold starts
+onto busy warm containers, then compare the realized queuing delays
+against the counterfactual cold-start latencies. On Azure the CDFs cross
+at 464 ms with 69.4% of requests better off queuing; on FC queuing is
+essentially always better (cold starts dwarf executions).
+"""
+
+from __future__ import annotations
+
+from conftest import SMALL_GB
+from repro.analysis.plot import ascii_cdf
+from repro.analysis.tables import render_cdf_series
+from repro.analysis.whatif import tradeoff_analysis
+from repro.sim.config import SimulationConfig
+
+
+def _report(title, result):
+    print("\n" + render_cdf_series(
+        {"Queuing latency": result.queuing_ms,
+         "Cold start latency": result.cold_ms},
+        quantiles=(10, 25, 50, 75, 90, 99), title=title))
+    print("\n" + ascii_cdf(
+        {"queuing": result.queuing_ms, "cold": result.cold_ms},
+        title=title + " [CDF]", x_max_percentile=95.0))
+    cross = result.crossover_ms()
+    print(f"  CDF crossover: "
+          f"{'none (queuing dominates)' if cross is None else f'{cross:.0f} ms'}")
+    print(f"  fraction of delayed requests better off queuing: "
+          f"{result.fraction_queue_wins():.1%}")
+
+
+def test_fig05_tradeoff_azure(benchmark, azure):
+    result = benchmark.pedantic(
+        tradeoff_analysis, args=(azure,),
+        kwargs={"config": SimulationConfig(capacity_gb=100.0)},
+        rounds=1, iterations=1)
+    _report("Fig. 5: queuing vs cold start (Azure)", result)
+    # Shape: a majority — but not all — of requests win by queuing
+    # (paper: 69.4%).
+    assert 0.5 <= result.fraction_queue_wins() <= 0.99
+
+
+def test_fig06_tradeoff_fc(benchmark, fc):
+    result = benchmark.pedantic(
+        tradeoff_analysis, args=(fc,),
+        kwargs={"config": SimulationConfig(capacity_gb=100.0)},
+        rounds=1, iterations=1)
+    _report("Fig. 6: queuing vs cold start (FC)", result)
+    # Shape: on FC queuing wins even more often than on Azure (paper:
+    # always), because executions are short relative to cold starts.
+    assert result.fraction_queue_wins() >= 0.6

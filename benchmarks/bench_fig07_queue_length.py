@@ -1,0 +1,36 @@
+"""Fig. 7 — impact of busy containers' (committed) queue length.
+
+Paper: FaasCache modified so each busy warm container holds up to L
+queued requests. L=1 cuts the average overhead ratio by 9.3% vs vanilla
+(L=0); L=2 *overshoots* and is worse than vanilla, because committed
+queues strand requests behind long executions.
+"""
+
+from __future__ import annotations
+
+from conftest import DEFAULT_GB
+from repro.analysis.tables import render_table
+from repro.analysis.whatif import queue_length_study
+from repro.sim.config import SimulationConfig
+
+
+def test_fig07_queue_length(benchmark, azure):
+    results = benchmark.pedantic(
+        queue_length_study, args=(azure,),
+        kwargs={"lengths": (0, 1, 2),
+                "config": SimulationConfig(capacity_gb=DEFAULT_GB)},
+        rounds=1, iterations=1)
+
+    print("\n" + render_table(
+        ["L", "avg overhead ratio", "warm %", "delayed %", "cold %"],
+        [[r.queue_length, r.avg_overhead_ratio, r.warm_ratio * 100,
+          r.delayed_ratio * 100, r.cold_ratio * 100] for r in results],
+        title="Fig. 7: bounded busy-container queues (Azure, 100 GB)"))
+
+    l0, l1, l2 = results
+    # Paper's shape: one queued request helps, two hurts.
+    assert l1.avg_overhead_ratio < l0.avg_overhead_ratio
+    assert l2.avg_overhead_ratio > l1.avg_overhead_ratio
+    # Deeper queues convert more cold starts into delayed warm starts.
+    assert l0.delayed_ratio == 0.0
+    assert l2.delayed_ratio > l1.delayed_ratio > 0.0

@@ -1,0 +1,59 @@
+"""Fig. 13 — invocation-overhead and end-to-end service-time CDFs.
+
+Paper: at a 100 GB cache, CDFs of per-request invocation overhead
+(panels a/b) and E2E service time (panels c/d) for all eleven policies.
+Reported anchors: CIDRE / FaasCache / CodeCrunch have P50 (P90) E2E
+service times of 249.76 (438.32) / 342.23 (548.89) / 330.50 (542.43) ms
+on Azure — CIDRE shifts both distributions left, approaching Offline.
+"""
+
+from __future__ import annotations
+
+from conftest import DEFAULT_GB
+from repro.analysis.tables import render_cdf_series
+from repro.experiments.runner import run_one
+from repro.experiments.suites import FIG12_POLICIES, policy_factories
+from repro.sim.config import SimulationConfig
+
+
+def _run(trace):
+    table = policy_factories()
+    config = SimulationConfig(capacity_gb=DEFAULT_GB)
+    return {name: run_one(trace, table[name], config).result
+            for name in FIG12_POLICIES}
+
+
+def _report(trace_name, results):
+    print("\n" + render_cdf_series(
+        {name: res.waits_ms() for name, res in results.items()},
+        quantiles=(25, 50, 75, 90, 99),
+        title=f"Fig. 13(a/b): invocation overhead CDF ({trace_name}, "
+              f"100 GB)"))
+    print("\n" + render_cdf_series(
+        {name: res.service_times_ms() for name, res in results.items()},
+        quantiles=(25, 50, 75, 90, 99),
+        title=f"Fig. 13(c/d): E2E service time CDF ({trace_name}, "
+              f"100 GB)"))
+
+
+def _assert_shapes(results):
+    cidre = results["CIDRE"]
+    faascache = results["FaasCache"]
+    # CIDRE's overhead distribution sits left of FaasCache's.
+    for q in (50, 75, 90):
+        assert cidre.wait_percentile(q) <= faascache.wait_percentile(q)
+    # E2E median improves (paper: 249.76 vs 342.23 ms).
+    assert cidre.service_percentile(50) < faascache.service_percentile(50)
+
+
+def test_fig13_azure(benchmark, azure):
+    results = benchmark.pedantic(_run, args=(azure,), rounds=1,
+                                 iterations=1)
+    _report("Azure", results)
+    _assert_shapes(results)
+
+
+def test_fig13_fc(benchmark, fc):
+    results = benchmark.pedantic(_run, args=(fc,), rounds=1, iterations=1)
+    _report("FC", results)
+    _assert_shapes(results)

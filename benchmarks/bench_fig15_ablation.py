@@ -1,0 +1,48 @@
+"""Fig. 15 — ablation of CIDRE's techniques (§5.3).
+
+Paper (Azure, 100 GB): average overhead ratio ladder
+FaasCache 44.8% > CIP_alone 43.2% > BSS_alone 33.6% > CSS_alone 29.4% >
+CIDRE 27.6%. The big step is speculative scaling; CIP and CSS each shave
+more.
+"""
+
+from __future__ import annotations
+
+from conftest import DEFAULT_GB
+from repro.analysis.tables import render_table
+from repro.experiments.runner import run_one
+from repro.experiments.suites import ABLATION_POLICIES, policy_factories
+from repro.sim.config import SimulationConfig
+
+
+def _run(trace):
+    table = policy_factories()
+    config = SimulationConfig(capacity_gb=DEFAULT_GB)
+    return {name: run_one(trace, table[name], config).result
+            for name in ABLATION_POLICIES}
+
+
+def test_fig15_ablation(benchmark, azure):
+    results = benchmark.pedantic(_run, args=(azure,), rounds=1,
+                                 iterations=1)
+    print("\n" + render_table(
+        ["configuration", "avg overhead ratio %", "cold %", "delayed %",
+         "wasted cold starts"],
+        [[name, res.avg_overhead_ratio * 100, res.cold_start_ratio * 100,
+          res.delayed_start_ratio * 100, res.wasted_cold_starts]
+         for name, res in results.items()],
+        title="Fig. 15: ablation study (Azure, 100 GB)"))
+
+    faascache = results["FaasCache"].avg_overhead_ratio
+    cip = results["CIP_alone"].avg_overhead_ratio
+    bss = results["BSS_alone"].avg_overhead_ratio
+    cidre = results["CIDRE"].avg_overhead_ratio
+    # Paper's ladder shape: CIP refines FaasCache; speculative scaling is
+    # the big step; the full system is best.
+    assert cip <= faascache * 1.02   # CIP alone is a small refinement
+    assert bss < faascache           # speculation is the major win
+    assert cidre < faascache
+    assert cidre <= bss * 1.05       # full CIDRE at least matches BSS
+    # CSS cuts the wasted speculative cold starts vs plain BSS.
+    assert results["CIDRE"].wasted_cold_starts \
+        < results["BSS_alone"].wasted_cold_starts

@@ -1,0 +1,49 @@
+"""Fig. 17 — sensitivity to the execution-time estimator T_e (§5.5).
+
+Paper: CSS with T_e estimated by the mean, 25th, 50th and 75th
+percentile of the execution-time window, vs CIDRE_BSS. The 50th
+percentile wins (27.8%); mean and p75 beat CIDRE_BSS (31.7%) but trail
+p50; p25 is slightly too eager.
+"""
+
+from __future__ import annotations
+
+from conftest import SMALL_GB
+from repro.analysis.tables import render_table
+from repro.core.cidre import CIDREBSSPolicy, CIDREPolicy
+from repro.experiments.runner import run_one
+from repro.sim.config import SimulationConfig
+
+ESTIMATORS = ("mean", "p25", "median", "p75")
+
+
+def _run(trace):
+    config = SimulationConfig(capacity_gb=SMALL_GB)
+    out = {"CIDRE_BSS": run_one(
+        trace, lambda t: CIDREBSSPolicy(), config).result}
+    for est in ESTIMATORS:
+        out[est] = run_one(
+            trace, lambda t, e=est: CIDREPolicy(exec_estimator=e),
+            config).result
+    return out
+
+
+def test_fig17_te_estimator(benchmark, azure_small):
+    results = benchmark.pedantic(_run, args=(azure_small,), rounds=1,
+                                 iterations=1)
+    print("\n" + render_table(
+        ["T_e estimator", "avg overhead ratio %", "cold %",
+         "wasted cold starts"],
+        [[name, res.avg_overhead_ratio * 100, res.cold_start_ratio * 100,
+          res.wasted_cold_starts] for name, res in results.items()],
+        title="Fig. 17: execution-time threshold sensitivity "
+              "(Azure-small, 50 GB)"))
+
+    bss = results["CIDRE_BSS"]
+    # Every CSS estimator controls wasted cold starts at least as well as
+    # plain BSS, and no estimator degrades overhead catastrophically
+    # (paper: all four variants sit within a few points of each other).
+    for est in ESTIMATORS:
+        assert results[est].wasted_cold_starts <= bss.wasted_cold_starts
+        assert results[est].avg_overhead_ratio \
+            <= bss.avg_overhead_ratio * 1.15

@@ -1,0 +1,52 @@
+"""Fig. 19 — sensitivity to inter-arrival times / load level (§5.5).
+
+Paper: CDFs of invocation overhead for FaasCache, CIDRE_BSS and CIDRE at
+IAT factors 0.5x (double load), 1.0x and 2.0x (half load). Higher load
+raises overheads and lowers warm-start ratios (CIDRE: 15.0% / 39.5% /
+60.4% warm at 0.5x / 1x / 2x); CIDRE's benefit holds at every level.
+"""
+
+from __future__ import annotations
+
+from conftest import SMALL_GB, run_policy
+from repro.analysis.tables import render_cdf_series, render_table
+from repro.traces.transforms import scale_iat
+
+POLICIES = ("FaasCache", "CIDRE_BSS", "CIDRE")
+FACTORS = (0.5, 1.0, 2.0)
+
+
+def _run(trace):
+    out = {}
+    for factor in FACTORS:
+        workload = scale_iat(trace, factor)
+        for name in POLICIES:
+            out[(name, factor)] = run_policy(workload, name, SMALL_GB)
+    return out
+
+
+def test_fig19_iat_levels(benchmark, azure_small):
+    results = benchmark.pedantic(_run, args=(azure_small,), rounds=1,
+                                 iterations=1)
+    print("\n" + render_cdf_series(
+        {f"{name} ({factor:g}x)": results[(name, factor)].waits_ms()
+         for name in POLICIES for factor in FACTORS},
+        quantiles=(50, 90, 99),
+        title="Fig. 19: invocation overhead CDFs vs IAT level "
+              "(Azure-small, 50 GB)"))
+    print("\n" + render_table(
+        ["policy", "IAT", "warm %", "avg overhead ratio %"],
+        [[name, f"{factor:g}x",
+          results[(name, factor)].warm_start_ratio * 100,
+          results[(name, factor)].avg_overhead_ratio * 100]
+         for name in POLICIES for factor in FACTORS],
+        title="warm-start ratios by load level"))
+
+    for name in POLICIES:
+        warm = [results[(name, f)].warm_start_ratio for f in FACTORS]
+        # Longer IATs (lower load) -> more warm starts, monotonically.
+        assert warm[0] < warm[1] < warm[2]
+    for factor in FACTORS:
+        # CIDRE's benefit holds at every load level.
+        assert results[("CIDRE", factor)].avg_overhead_ratio \
+            < results[("FaasCache", factor)].avg_overhead_ratio

@@ -1,0 +1,40 @@
+"""Fig. 21 — sensitivity to intra-container threads (§5.5).
+
+Paper: with N-thread containers (N simultaneous requests per container),
+both FaasCache and CIDRE improve as N grows (FaasCache 44.6 / 30.7 /
+19.4 / 12.4 %, CIDRE 27.5 / 17.3 / 10.2 / 6.2 % for 1/2/4/8 threads),
+and CIDRE stays ahead at every thread count.
+"""
+
+from __future__ import annotations
+
+from conftest import SMALL_GB, run_policy
+from repro.analysis.tables import render_table
+
+POLICIES = ("FaasCache", "CIDRE")
+THREADS = (1, 2, 4, 8)
+
+
+def _run(trace):
+    return {(name, n): run_policy(trace, name, SMALL_GB,
+                                  threads_per_container=n)
+            for name in POLICIES for n in THREADS}
+
+
+def test_fig21_intra_container_threads(benchmark, azure_small):
+    results = benchmark.pedantic(_run, args=(azure_small,), rounds=1,
+                                 iterations=1)
+    print("\n" + render_table(
+        ["policy"] + [f"{n}-thrd %" for n in THREADS],
+        [[name] + [results[(name, n)].avg_overhead_ratio * 100
+                   for n in THREADS] for name in POLICIES],
+        title="Fig. 21: avg overhead ratio vs intra-container threads "
+              "(Azure-small, 50 GB)"))
+
+    for name in POLICIES:
+        series = [results[(name, n)].avg_overhead_ratio for n in THREADS]
+        # More threads -> strictly less overhead (paper's shape).
+        assert series == sorted(series, reverse=True)
+    for n in THREADS:
+        assert results[("CIDRE", n)].avg_overhead_ratio \
+            < results[("FaasCache", n)].avg_overhead_ratio

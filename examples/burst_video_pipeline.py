@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Burst-parallel video processing under different keep-alive policies.
+
+The paper's introduction motivates CIDRE with burst-parallel workloads
+(Sprocket/ExCamera-style video pipelines) where a single job fans out into
+hundreds of concurrent invocations of the same function. This example
+models such a pipeline:
+
+* ``split``     — one invocation per job;
+* ``transcode`` — a fan-out of 50-400 concurrent chunk invocations per job;
+* ``stitch``    — one invocation per job after the fan-out completes.
+
+It then replays the workload under FaasCache, CIDRE_BSS and CIDRE and
+reports how each handles the concurrency-driven scaling: the fan-out is
+exactly the situation where reusing busy warm containers (delayed warm
+starts) beats provisioning hundreds of cold containers.
+
+Run with::
+
+    python examples/burst_video_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (CIDREBSSPolicy, CIDREPolicy, FaasCachePolicy,
+                   FunctionSpec, Request, SimulationConfig, simulate)
+from repro.sim import StartType
+
+
+def build_pipeline_workload(seed: int = 42, jobs: int = 25):
+    rng = np.random.default_rng(seed)
+    functions = [
+        FunctionSpec("split", memory_mb=256, cold_start_ms=600),
+        FunctionSpec("transcode", memory_mb=768, cold_start_ms=1500),
+        FunctionSpec("stitch", memory_mb=512, cold_start_ms=1000),
+    ]
+    requests = []
+    for _ in range(jobs):
+        job_at = rng.uniform(0, 15 * 60_000.0)
+        split_exec = float(rng.lognormal(5.5, 0.2))       # ~250 ms
+        requests.append(Request("split", job_at, split_exec))
+        fanout_at = job_at + split_exec
+        chunks = int(rng.integers(50, 400))
+        chunk_execs = rng.lognormal(6.0, 0.25, size=chunks)  # ~400 ms
+        for exec_ms in chunk_execs:
+            requests.append(Request("transcode",
+                                    fanout_at + rng.uniform(0, 100),
+                                    float(exec_ms)))
+        stitch_at = fanout_at + float(chunk_execs.max()) + 500.0
+        requests.append(Request("stitch", stitch_at,
+                                float(rng.lognormal(6.5, 0.2))))
+    return functions, requests
+
+
+def main() -> None:
+    functions, requests = build_pipeline_workload()
+    # Cache sized well below peak fan-out demand: 400 concurrent
+    # transcodes would want ~300 GB; give it 40 GB.
+    config = SimulationConfig(capacity_gb=40.0)
+
+    print(f"video pipeline: {len(requests)} invocations across "
+          f"{len(functions)} functions, 40 GB cache\n")
+    for policy in (FaasCachePolicy(), CIDREBSSPolicy(), CIDREPolicy()):
+        result = simulate(functions,
+                          [Request(r.func, r.arrival_ms, r.exec_ms)
+                           for r in requests],
+                          policy, config)
+        per_fn = result.per_function()
+        transcode = per_fn["transcode"]
+        print(f"== {policy.name}")
+        print(f"   overall: overhead ratio {result.avg_overhead_ratio:.3f}, "
+              f"cold {result.cold_start_ratio:.1%}, "
+              f"delayed {result.delayed_start_ratio:.1%}, "
+              f"p99 wait {result.wait_percentile(99):,.0f} ms")
+        print(f"   transcode fan-out: cold {transcode.cold_start_ratio:.1%},"
+              f" delayed {transcode.delayed_start_ratio:.1%}, "
+              f"avg wait {transcode.avg_wait_ms:,.0f} ms, "
+              f"wasted cold starts {result.wasted_cold_starts}")
+    print("\nThe fan-out stage is where speculative scaling pays off: "
+          "instead of\nhundreds of cold starts per job, most chunks ride "
+          "containers vacated by\nearlier chunks (delayed warm starts).")
+
+
+if __name__ == "__main__":
+    main()

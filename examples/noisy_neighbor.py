@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""When does conditional speculative scaling (CSS) matter?
+
+Basic speculative scaling (BSS) provisions a container for *every* request
+that misses idle capacity — even when a busy container was always going to
+free up first. Each such "wasted" cold start evicts someone else's warm
+container. This example builds the regime where that hurts most:
+
+* a heavy co-tenant (``etl``) keeps the cache under constant pressure;
+* a light API function (``api``) sees occasional overlapping pairs of
+  requests.
+
+Under BSS, every overlap of ``api`` provisions a spare that the co-tenant
+evicts before it is ever reused — so the next overlap provisions again,
+forever. CIDRE's CSS notices (the spare's pre-reuse idle time ``T_i``
+exceeds one execution ``T_e``) and routes overlaps to the briefly busy
+container instead.
+
+Run with::
+
+    python examples/noisy_neighbor.py
+"""
+
+from __future__ import annotations
+
+from repro import (CIDREBSSPolicy, CIDREPolicy, FunctionSpec, Request,
+                   SimulationConfig, simulate)
+
+
+def build_workload():
+    functions = [
+        FunctionSpec("api", memory_mb=256, cold_start_ms=800),
+        FunctionSpec("etl", memory_mb=256, cold_start_ms=400),
+    ]
+    requests = []
+    t = 0.0
+    while t < 400_000.0:                  # ~6-concurrent ETL stream
+        t += 50.0
+        requests.append(Request("etl", t, 300.0))
+    for k in range(20):                   # an api pair every 20 s
+        at = 1_000.0 + k * 20_000.0
+        requests.append(Request("api", at, 200.0))
+        requests.append(Request("api", at + 10.0, 200.0))
+    return functions, requests
+
+
+def main() -> None:
+    functions, requests = build_workload()
+    config = SimulationConfig(capacity_gb=2.0)   # room for 8 containers
+
+    print("a noisy-neighbor cache: heavy ETL stream + a light API "
+          "function, 2 GB\n")
+    for policy in (CIDREBSSPolicy(), CIDREPolicy()):
+        result = simulate(functions,
+                          [Request(r.func, r.arrival_ms, r.exec_ms)
+                           for r in requests],
+                          policy, config)
+        api = result.per_function()["api"]
+        print(f"== {policy.name}")
+        print(f"   cold starts issued: {result.cold_starts_begun:4d} "
+              f"(wasted: {result.wasted_cold_starts})")
+        print(f"   api: cold {api.cold_start_ratio:.0%}, "
+              f"avg wait {api.avg_wait_ms:,.0f} ms, "
+              f"p99 wait {api.wait_percentile(99):,.0f} ms")
+    print("\nCSS cuts the cold starts issued by an order of magnitude and "
+          "the API\nfunction's waits with them — the spare containers BSS "
+          "kept provisioning\nwere doomed to eviction before reuse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Debugging a policy with the structured event log.
+
+Why did *that* request wait 900 ms? The :class:`repro.sim.EventLog`
+records every control-plane decision; ``explain_request`` reconstructs one
+request's latency story — when it arrived, what was provisioned for it,
+which container finally ran it and why it had to wait.
+
+Run with::
+
+    python examples/trace_a_request.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import (EventLog, FunctionSpec, Orchestrator, Request,
+                       SimulationConfig, StartType)
+from repro import CIDREPolicy
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    functions = [FunctionSpec("checkout", memory_mb=512,
+                              cold_start_ms=1_200)]
+    # A small burst against an empty cache.
+    requests = [Request("checkout", 1_000.0 + float(rng.uniform(0, 150)),
+                        float(rng.lognormal(5.5, 0.2)))
+                for _ in range(6)]
+
+    log = EventLog()
+    orchestrator = Orchestrator(functions, CIDREPolicy(),
+                                SimulationConfig(capacity_gb=4.0),
+                                event_log=log)
+    result = orchestrator.run(requests)
+
+    print(f"replayed {result.total} requests; "
+          f"{len(log)} control-plane events recorded\n")
+
+    # Pick the slowest non-warm request and explain it.
+    slowest = max(result.requests, key=lambda r: r.wait_ms)
+    print(f"slowest request: r{slowest.req_id} "
+          f"({slowest.start_type.value} start, "
+          f"waited {slowest.wait_ms:,.0f} ms)\n")
+    print("its event story:")
+    print(log.render(log.explain_request(slowest.req_id)))
+
+    delayed = [r for r in result.requests
+               if r.start_type is StartType.DELAYED]
+    if delayed:
+        print(f"\n{len(delayed)} of the burst's requests rode busy "
+              f"containers (delayed warm starts) instead of waiting "
+              f"for their own cold start.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of "Concurrency-Informed Orchestration for
+Serverless Functions" (CIDRE, ASPLOS 2025).
+
+Quickstart
+----------
+>>> from repro import FunctionSpec, Request, CIDREPolicy, simulate
+>>> fn = FunctionSpec("hello", memory_mb=128, cold_start_ms=500)
+>>> reqs = [Request("hello", arrival_ms=float(i * 10), exec_ms=40.0)
+...         for i in range(100)]
+>>> result = simulate([fn], reqs, CIDREPolicy())
+>>> result.total
+100
+"""
+
+from repro.core import (BSSOnlyPolicy, CIDREBSSPolicy, CIDREPolicy,
+                        CIPOnlyPolicy, CSSOnlyPolicy)
+from repro.policies import (BoundedQueueFaasCache, CodeCrunchPolicy,
+                            EnsurePolicy, FaasCacheCPolicy, FaasCachePolicy,
+                            FlamePolicy, HybridHistogramPolicy,
+                            IceBreakerPolicy, LRUPolicy, OfflinePolicy,
+                            OrchestrationPolicy, RainbowCakePolicy,
+                            TTLPolicy)
+from repro.sim import (FunctionSpec, Orchestrator, Request, SimulationConfig,
+                       SimulationResult, StartType, simulate)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSSOnlyPolicy", "BoundedQueueFaasCache", "CIDREBSSPolicy",
+    "CIDREPolicy", "CIPOnlyPolicy", "CSSOnlyPolicy", "CodeCrunchPolicy",
+    "EnsurePolicy", "FaasCacheCPolicy", "FaasCachePolicy", "FlamePolicy",
+    "FunctionSpec", "HybridHistogramPolicy", "IceBreakerPolicy",
+    "LRUPolicy", "OfflinePolicy",
+    "Orchestrator", "OrchestrationPolicy", "RainbowCakePolicy", "Request",
+    "SimulationConfig", "SimulationResult", "StartType", "TTLPolicy",
+    "simulate", "__version__",
+]

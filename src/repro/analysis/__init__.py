@@ -1,0 +1,27 @@
+"""Trace and result analytics: CDFs, what-if studies, opportunity space."""
+
+from repro.analysis.cdf import ECDF, crossover, fraction_below
+from repro.analysis.comparison import (Comparison, best_policy, compare,
+                                       comparison_table)
+from repro.analysis.opportunity import (OpportunityResult,
+                                        opportunity_space,
+                                        opportunity_sweep)
+from repro.analysis.plot import ascii_cdf, ascii_series
+from repro.analysis.report import experiment_report
+from repro.analysis.tables import render_cdf_series, render_table
+from repro.analysis.whatif import (QueueAlwaysFaasCache, QueueLengthResult,
+                                   TradeoffProbeFaasCache, TradeoffResult,
+                                   eviction_study, queue_length_study,
+                                   tradeoff_analysis)
+
+__all__ = [
+    "ECDF", "OpportunityResult", "QueueAlwaysFaasCache",
+    "Comparison", "ascii_cdf", "ascii_series", "best_policy", "compare",
+    "comparison_table",
+    "QueueLengthResult", "TradeoffProbeFaasCache", "TradeoffResult",
+    "crossover", "eviction_study",
+    "fraction_below", "opportunity_space", "opportunity_sweep",
+    "experiment_report", "queue_length_study", "render_cdf_series",
+    "render_table",
+    "tradeoff_analysis",
+]

@@ -1,0 +1,89 @@
+"""Empirical CDFs and distribution summaries for figures.
+
+Every CDF figure in the paper (Figs 2, 3, 5, 6, 9, 10, 13, 14, 19) is an
+empirical CDF of some per-request or per-function quantity; :class:`ECDF`
+provides evaluation, percentiles, crossover detection (the 464 ms
+crossover of Fig. 5), and compact fixed-grid summaries for text rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ECDF:
+    """Empirical cumulative distribution function of a 1-D sample."""
+
+    def __init__(self, samples: Iterable[float]):
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            raise ValueError("ECDF needs at least one sample")
+        self.x = np.sort(data)
+
+    def __len__(self) -> int:
+        return int(self.x.size)
+
+    def __call__(self, value: float) -> float:
+        """P(X <= value)."""
+        return float(np.searchsorted(self.x, value, side="right")
+                     / self.x.size)
+
+    def percentile(self, q: float) -> float:
+        """``q``-th percentile (0-100)."""
+        return float(np.percentile(self.x, q))
+
+    def quantiles(self, qs: Sequence[float]) -> np.ndarray:
+        return np.percentile(self.x, qs)
+
+    def mean(self) -> float:
+        return float(self.x.mean())
+
+    def grid(self, points: int = 11,
+             lo: Optional[float] = None,
+             hi: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, cumulative probabilities) over an even grid — a text
+        rendering of the CDF curve."""
+        lo = self.x.min() if lo is None else lo
+        hi = self.x.max() if hi is None else hi
+        xs = np.linspace(lo, hi, points)
+        ys = np.array([self(v) for v in xs])
+        return xs, ys
+
+
+def crossover(a: ECDF, b: ECDF, lo: Optional[float] = None,
+              hi: Optional[float] = None,
+              tolerance: float = 1e-3) -> Optional[float]:
+    """Value where CDF ``a`` and CDF ``b`` cross (Fig. 5's 464 ms point).
+
+    Scans the merged support for the first location where the sign of
+    ``a(x) - b(x)`` flips. Returns ``None`` when one curve dominates the
+    other everywhere in the scanned range.
+    """
+    support = np.unique(np.concatenate([a.x, b.x]))
+    if lo is not None:
+        support = support[support >= lo]
+    if hi is not None:
+        support = support[support <= hi]
+    if support.size == 0:
+        return None
+    diffs = np.array([a(v) - b(v) for v in support])
+    sign = None
+    for value, diff in zip(support, diffs):
+        if abs(diff) <= tolerance:
+            continue
+        current = diff > 0
+        if sign is None:
+            sign = current
+        elif current != sign:
+            return float(value)
+    return None
+
+
+def fraction_below(samples: Iterable[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold``."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        return 0.0
+    return float((data < threshold).mean())

@@ -1,0 +1,99 @@
+"""Policy-vs-policy comparison helpers.
+
+The paper reports its results as relative improvements ("reduces the cold
+start ratio and the average invocation overhead by up to 75.1% and 39.3%").
+:func:`compare` computes those deltas between two
+:class:`~repro.sim.metrics.SimulationResult` objects, and
+:func:`comparison_table` renders a full matrix against a chosen baseline —
+the shape EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Relative improvements of ``candidate`` over ``baseline``.
+
+    Positive percentages mean the candidate is better (lower overhead /
+    fewer cold starts / less memory).
+    """
+
+    baseline_name: str
+    candidate_name: str
+    overhead_reduction_pct: float
+    cold_ratio_reduction_pct: float
+    wait_reduction_pct: float
+    memory_reduction_pct: float
+
+    def __str__(self) -> str:
+        return (f"{self.candidate_name} vs {self.baseline_name}: "
+                f"overhead -{self.overhead_reduction_pct:.1f}%, "
+                f"cold starts -{self.cold_ratio_reduction_pct:.1f}%, "
+                f"wait -{self.wait_reduction_pct:.1f}%, "
+                f"memory -{self.memory_reduction_pct:.1f}%")
+
+
+def _reduction_pct(baseline: float, candidate: float) -> float:
+    """Relative reduction in percent; 0 when the baseline is zero."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - candidate) / baseline * 100.0
+
+
+def compare(baseline: SimulationResult, candidate: SimulationResult,
+            baseline_name: str = "baseline",
+            candidate_name: str = "candidate") -> Comparison:
+    """Headline relative improvements of ``candidate`` over ``baseline``."""
+    return Comparison(
+        baseline_name=baseline_name,
+        candidate_name=candidate_name,
+        overhead_reduction_pct=_reduction_pct(
+            baseline.avg_overhead_ratio, candidate.avg_overhead_ratio),
+        cold_ratio_reduction_pct=_reduction_pct(
+            baseline.cold_start_ratio, candidate.cold_start_ratio),
+        wait_reduction_pct=_reduction_pct(
+            baseline.avg_wait_ms, candidate.avg_wait_ms),
+        memory_reduction_pct=_reduction_pct(
+            baseline.avg_memory_mb, candidate.avg_memory_mb),
+    )
+
+
+def comparison_table(results: Mapping[str, SimulationResult],
+                     baseline: str,
+                     order: Optional[Sequence[str]] = None,
+                     title: Optional[str] = None) -> str:
+    """Render every policy's improvement over ``baseline`` as a table."""
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} not in results")
+    names = list(order) if order is not None else list(results)
+    base = results[baseline]
+    rows = []
+    for name in names:
+        if name not in results:
+            raise KeyError(f"policy {name!r} not in results")
+        c = compare(base, results[name], baseline, name)
+        rows.append([name, results[name].avg_overhead_ratio,
+                     c.overhead_reduction_pct,
+                     c.cold_ratio_reduction_pct, c.wait_reduction_pct])
+    return render_table(
+        ["policy", "overhead ratio", "overhead -%", "cold -%", "wait -%"],
+        rows,
+        title=title or f"improvements relative to {baseline}")
+
+
+def best_policy(results: Mapping[str, SimulationResult],
+                metric: str = "avg_overhead_ratio",
+                exclude: Sequence[str] = ()) -> str:
+    """Name of the policy minimizing ``metric`` (an attribute name)."""
+    candidates = {name: res for name, res in results.items()
+                  if name not in set(exclude)}
+    if not candidates:
+        raise ValueError("no candidates to choose from")
+    return min(candidates, key=lambda n: getattr(candidates[n], metric))

@@ -1,0 +1,116 @@
+"""ASCII plotting for CDFs and series.
+
+The benchmark harness is text-first (no matplotlib dependency), but a CDF
+table of quantiles hides the curve's shape. This module renders compact
+Unicode line plots — good enough to eyeball a crossover (Fig. 5) or a
+capacity trend (Fig. 12) in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Marker characters cycled across series.
+MARKERS = "ox+*#@%&"
+
+
+def ascii_cdf(series: Mapping[str, Sequence[float]],
+              width: int = 64, height: int = 16,
+              x_max_percentile: float = 99.0,
+              title: Optional[str] = None,
+              log_x: bool = False) -> str:
+    """Render empirical CDFs of one or more samples as an ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of name -> samples.
+    x_max_percentile:
+        Clip the x-axis at this pooled percentile so tails don't squash
+        the interesting region.
+    log_x:
+        Use a logarithmic x-axis (for Fig. 2-style ratio plots).
+    """
+    cleaned = {name: np.sort(np.asarray(list(values), dtype=float))
+               for name, values in series.items()
+               if len(list(values)) > 0}
+    if not cleaned:
+        return "(no data)"
+    pooled = np.concatenate(list(cleaned.values()))
+    x_hi = float(np.percentile(pooled, x_max_percentile))
+    x_lo = float(pooled.min())
+    if log_x:
+        x_lo = max(x_lo, 1e-9)
+        x_hi = max(x_hi, x_lo * 10)
+        xs = np.logspace(np.log10(x_lo), np.log10(x_hi), width)
+    else:
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1.0
+        xs = np.linspace(x_lo, x_hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, data) in enumerate(cleaned.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        for col, x in enumerate(xs):
+            p = np.searchsorted(data, x, side="right") / data.size
+            row = height - 1 - int(round(p * (height - 1)))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        p = 1.0 - i / (height - 1)
+        lines.append(f"{p:4.2f} |" + "".join(row))
+    axis = "-" * width
+    lines.append("     +" + axis)
+    lines.append(f"      {xs[0]:<12.4g}{'':^{max(width - 24, 0)}}"
+                 f"{xs[-1]:>12.4g}")
+    legend = "  ".join(f"{MARKERS[i % len(MARKERS)]}={name}"
+                       for i, name in enumerate(cleaned))
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_series(rows: Mapping[str, Sequence[Tuple[float, float]]],
+                 width: int = 64, height: int = 14,
+                 title: Optional[str] = None) -> str:
+    """Render (x, y) series as an ASCII line plot (Fig. 12-style trends)."""
+    cleaned = {name: sorted((float(x), float(y)) for x, y in pts)
+               for name, pts in rows.items() if pts}
+    if not cleaned:
+        return "(no data)"
+    all_x = [x for pts in cleaned.values() for x, _ in pts]
+    all_y = [y for pts in cleaned.values() for _, y in pts]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(cleaned.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / (y_hi - y_lo)
+                                         * (height - 1)))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{y:8.3g} |" + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<12.4g}{'':^{max(width - 24, 0)}}"
+                 f"{x_hi:>12.4g}")
+    legend = "  ".join(f"{MARKERS[i % len(MARKERS)]}={name}"
+                       for i, name in enumerate(cleaned))
+    lines.append("          " + legend)
+    return "\n".join(lines)

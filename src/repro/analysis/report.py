@@ -1,0 +1,87 @@
+"""Markdown experiment reports.
+
+:func:`experiment_report` turns a set of
+:class:`~repro.experiments.runner.ExperimentResult` objects into a
+self-contained markdown document: per-capacity tables, relative
+improvements against a chosen baseline, and the start-type breakdown —
+the artifact you attach to a PR when proposing a policy change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.comparison import best_policy, compare
+from repro.experiments.runner import ExperimentResult
+
+
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> str:
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:,.2f}"
+        return str(v)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def experiment_report(results: Sequence[ExperimentResult],
+                      baseline: str = "FaasCache",
+                      title: str = "Policy comparison report",
+                      oracle: Optional[str] = "Offline") -> str:
+    """Render a markdown report over a grid of experiment results.
+
+    Results are grouped by (trace, capacity); within each group every
+    policy is compared against ``baseline``. The ``oracle`` policy (if
+    present) is excluded from "best online policy" callouts.
+    """
+    if not results:
+        raise ValueError("no results to report")
+    groups: Dict[tuple, Dict[str, ExperimentResult]] = {}
+    for res in results:
+        key = (res.trace_name, res.config.capacity_gb)
+        groups.setdefault(key, {})[res.policy_name] = res
+
+    sections: List[str] = [f"# {title}", ""]
+    for (trace_name, capacity_gb), by_policy in sorted(groups.items()):
+        sections.append(f"## {trace_name} @ {capacity_gb:g} GB")
+        sections.append("")
+        rows = []
+        for name, res in by_policy.items():
+            r = res.result
+            rows.append([name, r.avg_overhead_ratio * 100,
+                         r.cold_start_ratio * 100,
+                         r.delayed_start_ratio * 100,
+                         r.warm_start_ratio * 100, r.avg_wait_ms,
+                         r.wait_percentile(99) if r.requests else 0.0])
+        sections.append(_md_table(
+            ["policy", "overhead %", "cold %", "delayed %", "warm %",
+             "avg wait ms", "p99 wait ms"], rows))
+        sections.append("")
+        if baseline in by_policy:
+            base = by_policy[baseline].result
+            callouts = []
+            for name, res in by_policy.items():
+                if name == baseline:
+                    continue
+                c = compare(base, res.result, baseline, name)
+                callouts.append(
+                    f"- **{name}**: overhead "
+                    f"{c.overhead_reduction_pct:+.1f}%, cold starts "
+                    f"{c.cold_ratio_reduction_pct:+.1f}%, wait "
+                    f"{c.wait_reduction_pct:+.1f}% vs {baseline}")
+            sections.extend(callouts)
+            sections.append("")
+        online = {name: res.result for name, res in by_policy.items()
+                  if name != oracle}
+        if online:
+            winner = best_policy(online)
+            sections.append(f"Best online policy: **{winner}** "
+                            f"({online[winner].avg_overhead_ratio:.1%} "
+                            f"average overhead ratio).")
+            sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,72 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints every reproduced table/figure as text: tables
+as aligned columns, CDF "figures" as fixed-quantile series. Keeping the
+rendering in one place makes bench output uniform and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_cdf_series(series: Mapping[str, Sequence[float]],
+                      quantiles: Sequence[float] = (10, 25, 50, 75, 90,
+                                                    95, 99),
+                      title: Optional[str] = None,
+                      unit: str = "ms") -> str:
+    """Render named samples as rows of fixed quantiles — a text CDF."""
+    headers = ["series"] + [f"p{int(q)}" for q in quantiles] + ["mean"]
+    rows: List[List[object]] = []
+    for name, samples in series.items():
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            rows.append([name] + ["-"] * (len(quantiles) + 1))
+            continue
+        row: List[object] = [name]
+        row.extend(float(np.percentile(data, q)) for q in quantiles)
+        row.append(float(data.mean()))
+        rows.append(row)
+    table = render_table(headers, rows, title=title)
+    return f"{table}\n(all values in {unit})"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.3f}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("-", "").replace(".", "")
+    return stripped.isdigit() and cell not in ("-", "")

@@ -1,0 +1,243 @@
+"""Command-line interface: generate traces, replay policies, compare.
+
+Examples
+--------
+Generate the Azure-like workload and save it::
+
+    cidre-sim generate --preset azure --out traces/ --requests 60000
+
+Replay one policy::
+
+    cidre-sim run --preset azure --policy CIDRE --capacity-gb 100
+
+Compare the full Fig. 12 roster::
+
+    cidre-sim compare --preset fc --capacity-gb 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import render_table
+from repro.experiments.runner import run_one
+from repro.experiments.suites import FIG12_POLICIES, policy_factories
+from repro.sim.config import SimulationConfig
+from repro.traces.alibaba import fc_trace
+from repro.traces.azure import azure_trace
+from repro.traces.io import load_trace, save_trace
+from repro.traces.schema import Trace
+from repro.traces.stats import workload_stats
+
+
+def _build_trace(args: argparse.Namespace) -> Trace:
+    if args.load:
+        return load_trace(args.load, args.trace_name)
+    kwargs = {}
+    if args.requests:
+        kwargs["total_requests"] = args.requests
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.preset == "azure":
+        return azure_trace(**kwargs)
+    return fc_trace(**kwargs)
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=("azure", "fc"),
+                        default="azure", help="synthetic workload preset")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="target number of requests")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="generator seed")
+    parser.add_argument("--load", default=None,
+                        help="directory to load a saved trace from")
+    parser.add_argument("--trace-name", default=None,
+                        help="trace name when loading from --load")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    save_trace(trace, args.out)
+    stats = workload_stats(trace)
+    print(f"wrote {trace.name} to {args.out}")
+    print(stats.row())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    table = policy_factories()
+    if args.policy not in table:
+        print(f"unknown policy {args.policy!r}; choose from: "
+              f"{', '.join(sorted(table))}", file=sys.stderr)
+        return 2
+    config = SimulationConfig(capacity_gb=args.capacity_gb,
+                              workers=args.workers,
+                              threads_per_container=args.threads)
+    result = run_one(trace, table[args.policy], config)
+    print(render_table(
+        ["metric", "value"],
+        sorted(result.summary().items()),
+        title=f"{args.policy} on {trace.name} @ {args.capacity_gb} GB"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    table = policy_factories()
+    names = args.policies.split(",") if args.policies else FIG12_POLICIES
+    config = SimulationConfig(capacity_gb=args.capacity_gb,
+                              workers=args.workers,
+                              threads_per_container=args.threads)
+    rows = []
+    for name in names:
+        result = run_one(trace, table[name], config)
+        s = result.summary()
+        rows.append([name, s["avg_overhead_ratio"], s["cold_ratio"],
+                     s["warm_ratio"], s["delayed_ratio"],
+                     s["avg_wait_ms"], s["avg_memory_mb"] / 1024.0])
+    print(render_table(
+        ["policy", "overhead", "cold", "warm", "delayed", "wait_ms",
+         "mem_gb"],
+        rows, title=f"{trace.name} @ {args.capacity_gb} GB"))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print Table 1-style statistics and the concurrency distribution."""
+    import numpy as np
+
+    from repro.traces.stats import (concurrency_per_minute,
+                                    fraction_cold_dominated)
+
+    trace = _build_trace(args)
+    stats = workload_stats(trace)
+    print(render_table(
+        ["metric", "value"],
+        [["requests", stats.num_requests],
+         ["rps avg/min/max",
+          f"{stats.rps_avg:,.0f} / {stats.rps_min:,.0f} / "
+          f"{stats.rps_max:,.0f}"],
+         ["GBps avg/min/max",
+          f"{stats.gbps_avg:,.1f} / {stats.gbps_min:,.1f} / "
+          f"{stats.gbps_max:,.1f}"],
+         ["cold-dominated requests",
+          f"{fraction_cold_dominated(trace):.1%}"]],
+        title=f"workload statistics: {trace.name}"))
+    concurrency = concurrency_per_minute(trace)
+    if concurrency.size:
+        print(render_table(
+            ["percentile", "reqs/min"],
+            [[f"p{q}", float(np.percentile(concurrency, q))]
+             for q in (50, 90, 99)],
+            title="function concurrency (Fig. 3)"))
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    """Run the §2.4 queuing-vs-cold-start what-if analysis (Figs 5/6)."""
+    from repro.analysis.plot import ascii_cdf
+    from repro.analysis.whatif import tradeoff_analysis
+
+    trace = _build_trace(args)
+    result = tradeoff_analysis(
+        trace, SimulationConfig(capacity_gb=args.capacity_gb))
+    print(ascii_cdf({"queuing": result.queuing_ms,
+                     "cold start": result.cold_ms},
+                    title=f"queuing vs cold start ({trace.name}, "
+                          f"{args.capacity_gb:g} GB)",
+                    x_max_percentile=95.0))
+    cross = result.crossover_ms()
+    print(f"crossover: "
+          f"{'none (queuing dominates)' if cross is None else f'{cross:.0f} ms'}")
+    print(f"queuing wins for {result.fraction_queue_wins():.1%} "
+          f"of would-be cold starts")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a policy/capacity grid and emit a markdown report."""
+    from repro.analysis.report import experiment_report
+    from repro.experiments.runner import capacity_sweep
+    from repro.experiments.suites import policy_factories as factories
+
+    trace = _build_trace(args)
+    table = factories()
+    names = (args.policies.split(",") if args.policies
+             else ["FaasCache", "CIDRE_BSS", "CIDRE", "Offline"])
+    unknown = [n for n in names if n not in table]
+    if unknown:
+        print(f"unknown policies: {unknown}", file=sys.stderr)
+        return 2
+    capacities = [float(c) for c in args.capacities.split(",")]
+    results = capacity_sweep(trace, [table[n] for n in names], capacities)
+    report = experiment_report(results, baseline=args.baseline,
+                               title=f"Policy comparison on {trace.name}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cidre-sim",
+        description="CIDRE serverless orchestration simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and save a trace")
+    _add_trace_args(gen)
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.set_defaults(func=cmd_generate)
+
+    run = sub.add_parser("run", help="replay one policy over a trace")
+    _add_trace_args(run)
+    run.add_argument("--policy", default="CIDRE")
+    run.add_argument("--capacity-gb", type=float, default=100.0)
+    run.add_argument("--workers", type=int, default=1)
+    run.add_argument("--threads", type=int, default=1)
+    run.set_defaults(func=cmd_run)
+
+    cmp_ = sub.add_parser("compare", help="compare policies over a trace")
+    _add_trace_args(cmp_)
+    cmp_.add_argument("--policies", default=None,
+                      help="comma-separated policy names (default Fig. 12)")
+    cmp_.add_argument("--capacity-gb", type=float, default=100.0)
+    cmp_.add_argument("--workers", type=int, default=1)
+    cmp_.add_argument("--threads", type=int, default=1)
+    cmp_.set_defaults(func=cmd_compare)
+
+    stats = sub.add_parser("stats", help="print workload statistics")
+    _add_trace_args(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    whatif = sub.add_parser(
+        "whatif", help="queuing vs cold-start what-if (Figs 5/6)")
+    _add_trace_args(whatif)
+    whatif.add_argument("--capacity-gb", type=float, default=100.0)
+    whatif.set_defaults(func=cmd_whatif)
+
+    report = sub.add_parser(
+        "report", help="run a policy grid and emit a markdown report")
+    _add_trace_args(report)
+    report.add_argument("--policies", default=None,
+                        help="comma-separated policy names")
+    report.add_argument("--capacities", default="80,100,160",
+                        help="comma-separated cache sizes in GB")
+    report.add_argument("--baseline", default="FaasCache")
+    report.add_argument("--out", default=None,
+                        help="write the markdown to this file")
+    report.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

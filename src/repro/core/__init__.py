@@ -1,0 +1,13 @@
+"""CIDRE — the paper's concurrency-informed orchestration policy."""
+
+from repro.core.cidre import (BSSOnlyPolicy, CIDREBSSPolicy, CIDREPolicy,
+                              CIPOnlyPolicy, CSSOnlyPolicy)
+from repro.core.priority import CIPEvictionMixin
+from repro.core.scaling import BSSScalingMixin, CSSScalingMixin
+from repro.core.window import SlidingWindow
+
+__all__ = [
+    "BSSOnlyPolicy", "BSSScalingMixin", "CIDREBSSPolicy", "CIDREPolicy",
+    "CIPEvictionMixin", "CIPOnlyPolicy", "CSSOnlyPolicy", "CSSScalingMixin",
+    "SlidingWindow",
+]

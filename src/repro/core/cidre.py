@@ -1,0 +1,70 @@
+"""CIDRE policy assemblies (§3.4) and its ablation configurations (§5.3).
+
+CIDRE = CSS speculative scaling + CIP eviction. The paper's ablation study
+(Fig. 15) additionally measures each technique alone on top of the
+FaasCache (GDSF) substrate:
+
+* :class:`CIDREPolicy`      — CSS + CIP (the full system);
+* :class:`CIDREBSSPolicy`   — basic speculative scaling + CIP (the variant
+  deployed in Alibaba Cloud FC, §5.2);
+* :class:`CIPOnlyPolicy`    — CIP eviction, no busy-container reuse;
+* :class:`BSSOnlyPolicy`    — BSS scaling over GDSF eviction;
+* :class:`CSSOnlyPolicy`    — CSS scaling over GDSF eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.priority import CIPEvictionMixin
+from repro.core.scaling import BSSScalingMixin, CSSScalingMixin, MINUTES_MS
+from repro.policies.faascache import FaasCachePolicy
+
+
+class CIDREPolicy(CSSScalingMixin, CIPEvictionMixin):
+    """The full CIDRE orchestration policy (CSS + CIP).
+
+    Keyword arguments are forwarded to
+    :class:`~repro.core.scaling.CSSScalingMixin` (``window_ms``,
+    ``exec_estimator``, ``live_delay_signal``, ``cover_backlog``).
+    """
+
+    name = "CIDRE"
+
+    def __init__(self, window_ms: Optional[float] = 15 * MINUTES_MS,
+                 exec_estimator: str = "median", **kwargs):
+        super().__init__(window_ms=window_ms, exec_estimator=exec_estimator,
+                         **kwargs)
+
+
+class CIDREBSSPolicy(BSSScalingMixin, CIPEvictionMixin):
+    """CIDRE with only basic speculative scaling (CIDRE_BSS)."""
+
+    name = "CIDRE_BSS"
+
+
+class CIPOnlyPolicy(CIPEvictionMixin):
+    """Ablation: concurrency-informed eviction without speculative scaling.
+
+    Every request that misses idle capacity pays a cold start (the base
+    policy's scaling), but eviction uses CIP instead of GDSF.
+    """
+
+    name = "CIP_alone"
+
+
+class BSSOnlyPolicy(BSSScalingMixin, FaasCachePolicy):
+    """Ablation: basic speculative scaling over GDSF (FaasCache) eviction."""
+
+    name = "BSS_alone"
+
+
+class CSSOnlyPolicy(CSSScalingMixin, FaasCachePolicy):
+    """Ablation: conditional speculative scaling over GDSF eviction."""
+
+    name = "CSS_alone"
+
+    def __init__(self, window_ms: Optional[float] = 15 * MINUTES_MS,
+                 exec_estimator: str = "median", **kwargs):
+        super().__init__(window_ms=window_ms, exec_estimator=exec_estimator,
+                         **kwargs)

@@ -1,0 +1,111 @@
+"""Sliding-window statistics for CSS's hint-based classifier.
+
+CSS (Algorithm 1) keeps four per-function statistics — T_i, T_e, T_d, T_p —
+"collected using a 15-minute sliding window, whose size is configurable"
+(§3.2). :class:`SlidingWindow` stores timestamped samples, prunes anything
+older than the horizon on access, and exposes the estimators the paper's
+sensitivity study sweeps (median by default; mean/p25/p75 in Fig. 17;
+window sizes of 5/10/15 minutes or unbounded in Fig. 18).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+MINUTES_MS = 60_000.0
+
+
+class SlidingWindow:
+    """Timestamped samples with a fixed time horizon.
+
+    Parameters
+    ----------
+    horizon_ms:
+        Samples older than ``now - horizon_ms`` are dropped. ``None`` keeps
+        all history (the "all" configuration of Fig. 18).
+    max_samples:
+        Hard cap on retained samples to bound memory for very hot
+        functions; the oldest samples are dropped first.
+    """
+
+    def __init__(self, horizon_ms: Optional[float] = 15 * MINUTES_MS,
+                 max_samples: int = 4096):
+        if horizon_ms is not None and horizon_ms <= 0:
+            raise ValueError("horizon_ms must be positive or None")
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.horizon_ms = horizon_ms
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=max_samples)
+
+    def add(self, now: float, value: float) -> None:
+        """Record ``value`` observed at time ``now``."""
+        self._samples.append((now, value))
+
+    def _prune(self, now: float) -> None:
+        if self.horizon_ms is None:
+            return
+        cutoff = now - self.horizon_ms
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def is_empty(self, now: float) -> bool:
+        self._prune(now)
+        return not self._samples
+
+    def values(self, now: float) -> list:
+        self._prune(now)
+        return [v for _, v in self._samples]
+
+    def last(self, now: float) -> Optional[float]:
+        """Most recent in-window sample, or ``None``."""
+        self._prune(now)
+        if not self._samples:
+            return None
+        return self._samples[-1][1]
+
+    def mean(self, now: float) -> Optional[float]:
+        values = self.values(now)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def percentile(self, now: float, q: float) -> Optional[float]:
+        """``q``-th percentile (0-100), linear interpolation."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be within [0, 100]")
+        values = sorted(self.values(now))
+        if not values:
+            return None
+        if len(values) == 1:
+            return values[0]
+        rank = (q / 100.0) * (len(values) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high or values[low] == values[high]:
+            return values[low]
+        frac = rank - low
+        return values[low] + (values[high] - values[low]) * frac
+
+    def median(self, now: float) -> Optional[float]:
+        return self.percentile(now, 50.0)
+
+    def estimate(self, now: float, estimator: str = "median"
+                 ) -> Optional[float]:
+        """Dispatch on the Fig. 17 estimator names.
+
+        ``estimator`` is one of ``"median"``/``"p50"``, ``"mean"``,
+        ``"p25"``, ``"p75"`` (any ``"pNN"`` works).
+        """
+        if estimator == "mean":
+            return self.mean(now)
+        if estimator == "median":
+            return self.median(now)
+        if estimator.startswith("p"):
+            return self.percentile(now, float(estimator[1:]))
+        raise ValueError(f"unknown estimator {estimator!r}")

@@ -1,0 +1,11 @@
+"""Experiment harness shared by benchmarks and examples."""
+
+from repro.experiments.runner import (ExperimentResult, capacity_sweep,
+                                      run_grid, run_one)
+from repro.experiments.suites import (ABLATION_POLICIES, FIG12_POLICIES,
+                                      policy_factories, select)
+
+__all__ = [
+    "ABLATION_POLICIES", "ExperimentResult", "FIG12_POLICIES",
+    "capacity_sweep", "policy_factories", "run_grid", "run_one", "select",
+]

@@ -1,0 +1,68 @@
+"""Experiment harness: run (policy, trace, config) grids.
+
+This is the layer the benchmarks and examples drive. It owns the two
+mechanical details every experiment needs:
+
+* each run replays *fresh copies* of the trace's requests (simulations
+  mutate outcome fields);
+* the Offline oracle needs the request list at construction time, so
+  policies are supplied as zero-argument *factories* receiving the trace
+  via closure when needed — :func:`policy_factories` in
+  :mod:`repro.experiments.suites` builds the standard roster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.policies.base import OrchestrationPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SimulationResult
+from repro.sim.orchestrator import Orchestrator
+from repro.traces.schema import Trace
+
+PolicyFactory = Callable[[Trace], OrchestrationPolicy]
+
+
+@dataclass
+class ExperimentResult:
+    """One (policy, trace, config) outcome."""
+
+    policy_name: str
+    trace_name: str
+    config: SimulationConfig
+    result: SimulationResult
+
+    def summary(self) -> Dict[str, float]:
+        return self.result.summary()
+
+
+def run_one(trace: Trace, factory: PolicyFactory,
+            config: Optional[SimulationConfig] = None) -> ExperimentResult:
+    """Run one policy over one trace."""
+    config = config or SimulationConfig()
+    policy = factory(trace)
+    orchestrator = Orchestrator(trace.functions, policy, config)
+    result = orchestrator.run(trace.fresh_requests())
+    return ExperimentResult(policy.name, trace.name, config, result)
+
+
+def run_grid(trace: Trace, factories: Sequence[PolicyFactory],
+             configs: Sequence[SimulationConfig]
+             ) -> List[ExperimentResult]:
+    """Cartesian product of policies x configs over one trace."""
+    results = []
+    for config in configs:
+        for factory in factories:
+            results.append(run_one(trace, factory, config))
+    return results
+
+
+def capacity_sweep(trace: Trace, factories: Sequence[PolicyFactory],
+                   capacities_gb: Sequence[float],
+                   **config_kwargs) -> List[ExperimentResult]:
+    """The Fig. 12 pattern: every policy at every cache size."""
+    configs = [SimulationConfig(capacity_gb=gb, **config_kwargs)
+               for gb in capacities_gb]
+    return run_grid(trace, factories, configs)

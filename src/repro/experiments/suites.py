@@ -1,0 +1,65 @@
+"""Named policy rosters used across the paper's experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.cidre import (BSSOnlyPolicy, CIDREBSSPolicy, CIDREPolicy,
+                              CIPOnlyPolicy, CSSOnlyPolicy)
+from repro.experiments.runner import PolicyFactory
+from repro.policies.codecrunch import CodeCrunchPolicy
+from repro.policies.ensure import EnsurePolicy
+from repro.policies.faascache import FaasCacheCPolicy, FaasCachePolicy
+from repro.policies.flame import FlamePolicy
+from repro.policies.hybrid_histogram import HybridHistogramPolicy
+from repro.policies.icebreaker import IceBreakerPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.offline import OfflinePolicy
+from repro.policies.rainbowcake import RainbowCakePolicy
+from repro.policies.ttl import TTLPolicy
+
+
+def policy_factories() -> Dict[str, PolicyFactory]:
+    """All named policies as trace-aware factories.
+
+    The Offline oracle is the only one that actually inspects the trace.
+    """
+    return {
+        "TTL": lambda trace: TTLPolicy(),
+        "LRU": lambda trace: LRUPolicy(),
+        "FaasCache": lambda trace: FaasCachePolicy(),
+        "FaasCache-C": lambda trace: FaasCacheCPolicy(),
+        "RainbowCake": lambda trace: RainbowCakePolicy(),
+        "IceBreaker": lambda trace: IceBreakerPolicy(),
+        "CodeCrunch": lambda trace: CodeCrunchPolicy(),
+        "Flame": lambda trace: FlamePolicy(),
+        "ENSURE": lambda trace: EnsurePolicy(),
+        "HybridHistogram": lambda trace: HybridHistogramPolicy(),
+        "CIDRE_BSS": lambda trace: CIDREBSSPolicy(),
+        "CIDRE": lambda trace: CIDREPolicy(),
+        "Offline": lambda trace: OfflinePolicy(trace.requests),
+        "CIP_alone": lambda trace: CIPOnlyPolicy(),
+        "BSS_alone": lambda trace: BSSOnlyPolicy(),
+        "CSS_alone": lambda trace: CSSOnlyPolicy(),
+    }
+
+
+#: The eleven policies of Fig. 12, in the paper's legend order.
+FIG12_POLICIES: List[str] = [
+    "TTL", "LRU", "FaasCache", "RainbowCake", "Flame", "ENSURE",
+    "IceBreaker", "CodeCrunch", "CIDRE_BSS", "CIDRE", "Offline",
+]
+
+#: The Fig. 15 ablation ladder.
+ABLATION_POLICIES: List[str] = [
+    "FaasCache", "CIP_alone", "BSS_alone", "CSS_alone", "CIDRE",
+]
+
+
+def select(names) -> List[PolicyFactory]:
+    """Resolve policy names to factories, preserving order."""
+    table = policy_factories()
+    missing = [n for n in names if n not in table]
+    if missing:
+        raise KeyError(f"unknown policies: {missing}")
+    return [table[n] for n in names]

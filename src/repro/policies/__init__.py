@@ -1,0 +1,23 @@
+"""Keep-alive / scaling baselines the paper compares against."""
+
+from repro.policies.base import (OrchestrationPolicy, ScalingAction,
+                                 ScalingDecision)
+from repro.policies.codecrunch import CodeCrunchPolicy
+from repro.policies.ensure import EnsurePolicy
+from repro.policies.faascache import (BoundedQueueFaasCache,
+                                      FaasCacheCPolicy, FaasCachePolicy)
+from repro.policies.flame import FlamePolicy
+from repro.policies.hybrid_histogram import HybridHistogramPolicy
+from repro.policies.icebreaker import IceBreakerPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.offline import OfflinePolicy
+from repro.policies.rainbowcake import RainbowCakePolicy
+from repro.policies.ttl import TTLPolicy
+
+__all__ = [
+    "BoundedQueueFaasCache", "CodeCrunchPolicy", "EnsurePolicy",
+    "FaasCacheCPolicy", "FaasCachePolicy", "FlamePolicy",
+    "HybridHistogramPolicy", "IceBreakerPolicy", "LRUPolicy",
+    "OfflinePolicy", "OrchestrationPolicy",
+    "RainbowCakePolicy", "ScalingAction", "ScalingDecision", "TTLPolicy",
+]

@@ -1,0 +1,255 @@
+"""Policy interfaces: scaling (cold vs delayed-warm) and eviction.
+
+An :class:`OrchestrationPolicy` plugs into the simulator's control plane
+(:mod:`repro.sim.orchestrator`) at two decision points:
+
+1. **Scaling** — when a request finds no idle warm container, the policy
+   chooses among:
+
+   * ``COLD``      — provision a container bound to this request (the
+     vanilla keep-alive behaviour: TTL, LRU, FaasCache, ...);
+   * ``QUEUE``     — wait for a busy warm container (a delayed warm start),
+     optionally committed to one specific container (the bounded-queue
+     what-if of Fig. 7);
+   * ``SPECULATE`` — do both simultaneously and take whichever becomes
+     available first (CIDRE's speculative scaling, §3.2).
+
+2. **Eviction** — when provisioning needs memory, :meth:`make_room` frees
+   capacity. The default implementation evicts idle containers in
+   ascending :meth:`priority` order (the paper's ``REPLACE`` subroutine);
+   policies may override either the priority (GDSF, CIP, LRU, ...) or the
+   whole procedure (CodeCrunch compresses instead of evicting).
+
+Policies observe the container lifecycle through ``on_*`` hooks; they never
+mutate simulator state directly except through the :class:`PolicyContext`
+facade handed to them at bind time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.container import Container
+    from repro.sim.function import FunctionSpec
+    from repro.sim.request import Request
+    from repro.sim.worker import Worker
+
+
+class ScalingAction(enum.Enum):
+    COLD = "cold"
+    QUEUE = "queue"
+    SPECULATE = "speculate"
+
+
+@dataclass
+class ScalingDecision:
+    """Outcome of :meth:`OrchestrationPolicy.scale`.
+
+    ``target`` commits a ``QUEUE`` decision to one specific busy container
+    (per-container queues, Fig. 7); when ``None`` the request joins the
+    work-conserving per-function FIFO and is served by whichever container
+    of the function frees up first.
+    """
+
+    action: ScalingAction
+    target: Optional["Container"] = None
+
+    @classmethod
+    def cold(cls) -> "ScalingDecision":
+        return cls(ScalingAction.COLD)
+
+    @classmethod
+    def queue(cls, target: Optional["Container"] = None) -> "ScalingDecision":
+        return cls(ScalingAction.QUEUE, target)
+
+    @classmethod
+    def speculate(cls) -> "ScalingDecision":
+        return cls(ScalingAction.SPECULATE)
+
+
+class PolicyContext(Protocol):
+    """The orchestrator facade available to policies.
+
+    Only maintenance-style actions are exposed; request routing stays with
+    the orchestrator.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def evict(self, container: "Container") -> None:
+        """Reclaim an evictable container immediately."""
+
+    def compress(self, container: "Container", mem_fraction: float) -> None:
+        """Shrink an idle container to ``mem_fraction`` of its footprint."""
+
+    def prewarm(self, spec: "FunctionSpec", worker: "Worker") -> bool:
+        """Provision a container ahead of demand; returns False when memory
+        cannot be freed."""
+
+    def workers(self) -> List["Worker"]: ...
+
+    def spec_of(self, func: str) -> "FunctionSpec": ...
+
+    def outstanding_waiters(self, func: str) -> int:
+        """Unserved queued requests of ``func`` (delayed-warm-start queue)."""
+
+    def oldest_waiter_age_ms(self, func: str) -> float:
+        """Age of the oldest unserved queued request of ``func`` (0 when
+        the queue is empty) — the live delayed-warm-start cost signal."""
+
+    def provisions_in_flight(self, func: str) -> int:
+        """Containers of ``func`` currently provisioning or queued for
+        memory to start provisioning."""
+
+    def speculate_for(self, func: str) -> bool:
+        """Provision one unbound speculative container for ``func``."""
+
+    def waiting_functions(self) -> List[str]:
+        """Functions that currently have unserved queued requests."""
+
+
+class OrchestrationPolicy:
+    """Base policy: always cold-start, evict by recency (LRU-like).
+
+    Subclasses override the pieces they change; the defaults are chosen so
+    that a bare ``OrchestrationPolicy`` behaves like a sane caching-based
+    keep-alive system.
+    """
+
+    #: Human-readable name used in result tables.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[PolicyContext] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+
+    def bind(self, ctx: PolicyContext) -> None:
+        """Called once by the orchestrator before the run starts."""
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # Scaling
+
+    def scale(self, request: "Request", worker: "Worker",
+              now: float) -> ScalingDecision:
+        """Choose how to serve a request with no idle container available."""
+        return ScalingDecision.cold()
+
+    # ------------------------------------------------------------------
+    # Eviction
+
+    def priority(self, container: "Container", now: float) -> float:
+        """Keep-alive priority; lower values are evicted first.
+
+        The default is pure recency (LRU): the least recently used
+        container has the lowest priority.
+        """
+        return container.last_used_ms
+
+    def priorities(self, containers: List["Container"],
+                   now: float) -> List[float]:
+        """Batch priority computation (hot path of ``make_room``).
+
+        The default delegates to :meth:`priority`; policies whose priority
+        needs per-function aggregates (CIP's ``|F(c)|``, FaasCache-C's
+        ``K``) override this to precompute them once per batch.
+        """
+        return [self.priority(c, now) for c in containers]
+
+    def make_room(self, worker: "Worker", need_mb: float, now: float,
+                  for_func: Optional[str] = None) -> bool:
+        """Free at least ``need_mb`` on ``worker``; returns success.
+
+        Default: evict evictable containers in ascending priority order —
+        the paper's ``REPLACE`` subroutine. ``for_func`` names the function
+        being provisioned so policies can avoid evicting its own reusable
+        containers.
+        """
+        assert self.ctx is not None, "policy not bound"
+        if worker.free_mb >= need_mb:
+            return True
+        candidates = worker.evictable()
+        # Cheap infeasibility check before ranking anything: under a burst
+        # most capacity is busy and reclaiming everything still would not
+        # fit — skip the priority sort entirely.
+        if worker.free_mb + sum(c.memory_mb for c in candidates) < need_mb:
+            return False
+        ranked = sorted(zip(self.priorities(candidates, now), candidates),
+                        key=lambda pair: pair[0])
+        freed = worker.free_mb
+        chosen: List["Container"] = []
+        for _, victim in ranked:
+            chosen.append(victim)
+            freed += victim.memory_mb
+            if freed >= need_mb:
+                break
+        if freed < need_mb:
+            return False
+        for victim in chosen:
+            self.ctx.evict(victim)
+        return True
+
+    # ------------------------------------------------------------------
+    # Cost model
+
+    def provision_cost_ms(self, spec: "FunctionSpec", worker: "Worker",
+                          now: float) -> float:
+        """Latency of provisioning a fresh container of ``spec``.
+
+        Layer-aware policies (RainbowCake) override this to discount the
+        cost when warm layers are already resident.
+        """
+        return spec.cold_start_ms
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (no-ops by default)
+
+    def on_request_arrival(self, request: "Request", worker: "Worker",
+                           now: float) -> None:
+        """Every arrival, before routing."""
+
+    def on_warm_start(self, container: "Container", request: "Request",
+                      now: float) -> None:
+        """Request dispatched to an idle container with zero wait."""
+
+    def on_delayed_start(self, container: "Container", request: "Request",
+                         now: float) -> None:
+        """Request served by a previously busy container after queuing."""
+
+    def on_cold_start(self, container: "Container", request: "Request",
+                      now: float) -> None:
+        """Request served by a freshly provisioned container."""
+
+    def on_provision_started(self, container: "Container",
+                             now: float) -> None:
+        """A cold start began (memory charged, latency running)."""
+
+    def on_container_ready(self, container: "Container", now: float) -> None:
+        """Provisioning finished; the container is warm."""
+
+    def on_request_complete(self, container: "Container",
+                            request: "Request", now: float) -> None:
+        """A request finished executing."""
+
+    def on_eviction(self, victims: List["Container"], now: float) -> None:
+        """Containers were reclaimed (capacity pressure or maintenance)."""
+
+    # ------------------------------------------------------------------
+    # Periodic maintenance
+
+    #: When not ``None``, :meth:`on_maintenance` runs every this many ms.
+    maintenance_interval_ms: Optional[float] = None
+
+    def on_maintenance(self, now: float) -> None:
+        """Periodic housekeeping (TTL expiry, pre-warming, autoscaling)."""
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,93 @@
+"""CodeCrunch — container compression under memory pressure [ASPLOS '24].
+
+CodeCrunch keeps more function state resident by *compressing* idle
+containers instead of evicting them when memory runs short: a compressed
+container's footprint shrinks to a fraction of the original, and reusing it
+costs a decompression latency that is much smaller than a full cold start.
+(The original also places warmup-heavy functions on beefier servers; as
+with IceBreaker, the paper's homogeneous testbed neutralizes that part.)
+
+Model:
+
+* ``make_room`` first compresses idle containers (GDSF order, lowest
+  priority first), freeing ``1 - compressed_fraction`` of each footprint;
+  only when everything compressible is compressed does it evict compressed
+  containers outright.
+* A request that finds no idle container but a compressed one pays
+  ``decompress_fraction * cold_start_ms`` instead of the full cold start.
+  Mechanically this is a short bound provision on the restored container.
+* Like all caching-based baselines, CodeCrunch never reuses busy
+  containers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.policies.faascache import FaasCachePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.function import FunctionSpec
+    from repro.sim.worker import Worker
+
+
+class CodeCrunchPolicy(FaasCachePolicy):
+    """Compression-based keep-alive over a GDSF substrate.
+
+    Parameters
+    ----------
+    compressed_fraction:
+        Footprint of a compressed container relative to the original.
+    decompress_fraction:
+        Restore latency relative to the function's full cold start.
+    """
+
+    name = "CodeCrunch"
+
+    #: Orchestrator capability flag: requests may reuse compressed
+    #: containers by paying :meth:`restore_cost_ms`.
+    reuse_compressed = True
+
+    def __init__(self, compressed_fraction: float = 0.35,
+                 decompress_fraction: float = 0.25):
+        super().__init__()
+        if not 0 < compressed_fraction < 1:
+            raise ValueError("compressed_fraction must be in (0, 1)")
+        if not 0 < decompress_fraction <= 1:
+            raise ValueError("decompress_fraction must be in (0, 1]")
+        self.compressed_fraction = compressed_fraction
+        self.decompress_fraction = decompress_fraction
+
+    def restore_cost_ms(self, spec: "FunctionSpec") -> float:
+        """Latency to decompress a compressed container of ``spec``."""
+        return spec.cold_start_ms * self.decompress_fraction
+
+    def make_room(self, worker: "Worker", need_mb: float, now: float,
+                  for_func: Optional[str] = None) -> bool:
+        assert self.ctx is not None
+        if worker.free_mb >= need_mb:
+            return True
+        evictable_mb = sum(c.memory_mb for c in worker.evictable())
+        if worker.free_mb + evictable_mb < need_mb:
+            return False  # even evicting everything would not fit
+        # Phase 1: compress idle (uncompressed) containers, lowest GDSF
+        # priority first. Never compress containers of the function being
+        # provisioned — a request may be about to restore one.
+        idle = sorted(
+            (c for c in worker.evictable()
+             if c.is_idle and c.spec.name != for_func),
+            key=lambda c: self.priority(c, now))
+        for container in idle:
+            if worker.free_mb >= need_mb:
+                return True
+            self.ctx.compress(container, self.compressed_fraction)
+        if worker.free_mb >= need_mb:
+            return True
+        # Phase 2: evict compressed containers outright.
+        squeezed = sorted((c for c in worker.evictable()),
+                          key=lambda c: self.priority(c, now))
+        for container in squeezed:
+            if worker.free_mb >= need_mb:
+                return True
+            self.ctx.evict(container)
+        return worker.free_mb >= need_mb

@@ -1,0 +1,21 @@
+"""LRU keep-alive.
+
+Containers stay warm until memory pressure, at which point the least
+recently used idle containers are evicted. Like all traditional
+caching-based keep-alive policies, LRU never reuses busy containers — a
+request that finds no idle container always pays a cold start.
+
+This is exactly the default behaviour of
+:class:`~repro.policies.base.OrchestrationPolicy`; the subclass exists for
+a stable name and an explicit anchor for the paper's LRU baseline.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import OrchestrationPolicy
+
+
+class LRUPolicy(OrchestrationPolicy):
+    """Least-recently-used eviction, cold-start-only scaling."""
+
+    name = "LRU"

@@ -1,0 +1,150 @@
+"""Offline — the future-knowledge oracle baseline (§4).
+
+The Offline policy sees the whole trace in advance and therefore bounds
+what any online policy can achieve:
+
+* **Eviction** is a concurrency-aware Belady MIN. Containers are ranked by
+  the future arrival that would actually need *them*: a function's
+  most-recently-used container is ranked by the function's next arrival,
+  its second container by the second-next arrival, and so on. Plain
+  per-function Belady would keep a hot function's entire container fleet
+  alive (its next use is always imminent) — exactly the compound-object
+  blindness the paper's §2.3 describes — so the oracle must account for
+  *how many* containers the future workload can use concurrently.
+* **Scaling** compares the actual time at which a busy warm container of
+  the function will become available for this request (accounting for the
+  waiters already queued ahead of it) against the actual cold-start
+  completion time. When the delayed warm start is strictly cheaper the
+  request only queues (no container is wasted); otherwise the oracle
+  *races* both paths, which realizes the paper's "exhaustive search over
+  the current and future cache state": the request executes at the true
+  minimum of the two completion times even when in-flight work makes the
+  static estimate stale.
+
+The oracle must be constructed with the request list it will replay
+(:meth:`for_trace` or the ``requests`` constructor argument).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.policies.base import OrchestrationPolicy, ScalingDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.container import Container
+    from repro.sim.request import Request
+    from repro.sim.worker import Worker
+
+_FAR_FUTURE = float("inf")
+
+
+class OfflinePolicy(OrchestrationPolicy):
+    """Belady MIN eviction + future-knowledge scaling."""
+
+    name = "Offline"
+
+    def __init__(self, requests: Iterable["Request"]):
+        super().__init__()
+        self._future: Dict[str, List[float]] = {}
+        for req in requests:
+            self._future.setdefault(req.func, []).append(req.arrival_ms)
+        for arrivals in self._future.values():
+            arrivals.sort()
+
+    @classmethod
+    def for_trace(cls, requests: Iterable["Request"]) -> "OfflinePolicy":
+        return cls(requests)
+
+    # ------------------------------------------------------------------
+    # Future knowledge
+
+    def next_use_ms(self, func: str, now: float, k: int = 1) -> float:
+        """Arrival time of the ``k``-th next request of ``func`` strictly
+        after ``now`` (``inf`` when fewer than ``k`` remain)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        arrivals = self._future.get(func)
+        if not arrivals:
+            return _FAR_FUTURE
+        idx = bisect.bisect_right(arrivals, now) + k - 1
+        if idx >= len(arrivals):
+            return _FAR_FUTURE
+        return arrivals[idx]
+
+    # ------------------------------------------------------------------
+    # Concurrency-aware Belady MIN: the k-th container of a function is
+    # ranked by the k-th future arrival; furthest-needed evicted first.
+
+    def priority(self, container: "Container", now: float) -> float:
+        rank = self._recency_rank(container)
+        return -self.next_use_ms(container.spec.name, now, k=rank)
+
+    def priorities(self, containers, now: float):
+        """Batch form: compute each function's recency ranking once
+        instead of one O(|F|) scan per container."""
+        by_func: Dict[str, List["Container"]] = {}
+        for c in containers:
+            worker = c.worker
+            peers = worker.of_func(c.spec.name) if worker else [c]
+            by_func.setdefault(c.spec.name, peers if worker else [c])
+        ranks: Dict[int, int] = {}
+        for func, peers in by_func.items():
+            warm = sorted((p for p in peers if not p.is_provisioning),
+                          key=lambda p: -p.last_used_ms)
+            for i, p in enumerate(warm):
+                ranks[p.container_id] = i + 1
+        out = []
+        for c in containers:
+            rank = ranks.get(c.container_id, 1)
+            out.append(-self.next_use_ms(c.spec.name, now, k=rank))
+        return out
+
+    def _recency_rank(self, container: "Container") -> int:
+        """1-based recency rank among the function's warm containers
+        (1 = most recently used)."""
+        worker = container.worker
+        if worker is None:
+            return 1
+        fresher = sum(
+            1 for peer in worker.of_func(container.spec.name)
+            if peer is not container and not peer.is_provisioning
+            and peer.last_used_ms > container.last_used_ms)
+        return fresher + 1
+
+    # ------------------------------------------------------------------
+    # Oracle scaling
+
+    def scale(self, request: "Request", worker: "Worker",
+              now: float) -> ScalingDecision:
+        assert self.ctx is not None
+        func = request.func
+        free_times: List[float] = []
+        for container in worker.busy_of(func):
+            # With the simulator's deterministic execution, a busy
+            # container frees when its in-flight requests complete.
+            done = max((r.start_ms + r.exec_ms for r in container.active),
+                       default=now)
+            free_times.append(done)
+        for container in worker.provisioning_of(func):
+            # A provisioning container will also take queued waiters.
+            free_times.append(container.created_ms
+                              + container.spec.cold_start_ms)
+        free_times.sort()
+        # Requests already queued ahead of this one will absorb the
+        # earliest slots.
+        ahead = self.ctx.outstanding_waiters(func)
+        if ahead < len(free_times):
+            t_delayed = free_times[ahead]
+        else:
+            t_delayed = _FAR_FUTURE
+        t_cold = now + self.ctx.spec_of(func).cold_start_ms
+        if t_delayed <= t_cold:
+            # The delayed warm start is provably no worse: just queue and
+            # spare the container (Belady keeps the cache clean).
+            return ScalingDecision.queue()
+        # Otherwise race both paths: the request executes at the true
+        # minimum of the two completion times, which is what the paper's
+        # exhaustive current-and-future search would pick.
+        return ScalingDecision.speculate()

@@ -1,0 +1,18 @@
+"""Discrete-event FaaS cluster simulation substrate."""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.container import Container, ContainerState
+from repro.sim.engine import Simulator
+from repro.sim.eventlog import Event, EventKind, EventLog
+from repro.sim.function import FunctionSpec, LayerStack
+from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.sim.orchestrator import Orchestrator, simulate
+from repro.sim.request import Request, StartType
+from repro.sim.worker import Worker
+
+__all__ = [
+    "Container", "ContainerState", "Event", "EventKind", "EventLog",
+    "FunctionSpec", "LayerStack",
+    "MetricsCollector", "Orchestrator", "Request", "SimulationConfig",
+    "SimulationResult", "Simulator", "StartType", "Worker", "simulate",
+]

@@ -1,0 +1,60 @@
+"""Simulation configuration.
+
+One :class:`SimulationConfig` object captures every knob the paper's
+evaluation turns: cache capacity (Fig. 12), intra-container threads
+(Fig. 21), worker count (the §5.2 production setup), and bookkeeping
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB_PER_GB = 1024.0
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs for one simulation run.
+
+    Parameters
+    ----------
+    capacity_gb:
+        Total function-cache memory across all workers. The paper sweeps
+        80-160 GB (Fig. 12) with 100 GB as the default (§5.5).
+    workers:
+        Number of servers sharing the capacity evenly. The paper's testbed
+        has 3 servers; a single worker models the aggregate cache, which is
+        how the paper's simulator-based analyses (§2.4) treat it.
+    threads_per_container:
+        Execution slots per container (Fig. 21); default 1.
+    memory_sample_interval_ms:
+        Period of the memory-usage sampler (Fig. 16's GB series).
+    dispatch:
+        ``"single"`` (one logical cache) or ``"hash"`` (requests of one
+        function stick to one worker) or ``"least-loaded"``.
+    """
+
+    capacity_gb: float = 100.0
+    workers: int = 1
+    threads_per_container: int = 1
+    memory_sample_interval_ms: float = 1_000.0
+    dispatch: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0:
+            raise ValueError("capacity_gb must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.threads_per_container < 1:
+            raise ValueError("threads_per_container must be >= 1")
+        if self.dispatch not in ("single", "hash", "least-loaded"):
+            raise ValueError(f"unknown dispatch policy {self.dispatch!r}")
+
+    @property
+    def capacity_mb(self) -> float:
+        return self.capacity_gb * MB_PER_GB
+
+    @property
+    def per_worker_mb(self) -> float:
+        return self.capacity_mb / self.workers

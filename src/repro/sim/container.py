@@ -1,0 +1,179 @@
+"""Container state machine.
+
+A container moves through the lifecycle::
+
+    PROVISIONING --ready--> IDLE <--> BUSY --evict--> (gone)
+                                  \\--compress--> COMPRESSED --evict--> (gone)
+                                                       \\--decompress (pays
+                                                         restore latency)
+
+* ``PROVISIONING`` — a cold start in flight; memory is already reserved.
+* ``IDLE`` — warm, kept alive, immediately reusable (a warm start).
+* ``BUSY`` — executing one or more requests (up to ``threads``).
+* ``COMPRESSED`` — CodeCrunch-style compressed state: footprint shrunk,
+  reusable after paying a decompression latency.
+
+Containers also carry the per-container bookkeeping used by priority-based
+keep-alive policies (GDSF's ``clock``/``freq``, CIDRE's CIP clock).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.function import FunctionSpec
+    from repro.sim.request import Request
+
+_container_ids = itertools.count()
+
+
+class ContainerState(enum.Enum):
+    PROVISIONING = "provisioning"
+    IDLE = "idle"
+    BUSY = "busy"
+    COMPRESSED = "compressed"
+    EVICTED = "evicted"
+
+
+class Container:
+    """A warm (or warming) function container on one worker."""
+
+    __slots__ = (
+        "container_id", "spec", "state", "threads",
+        "created_ms", "ready_ms", "last_used_ms", "last_idle_ms",
+        "active", "clock", "reuse_count", "priority",
+        "compressed_mem_fraction", "worker", "speculative", "served_any",
+    )
+
+    def __init__(self, spec: "FunctionSpec", now: float, threads: int = 1,
+                 speculative: bool = False):
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.container_id: int = next(_container_ids)
+        self.spec = spec
+        self.state = ContainerState.PROVISIONING
+        self.threads = threads
+        self.created_ms = now          # provisioning began
+        self.ready_ms: Optional[float] = None   # provisioning finished
+        self.last_used_ms = now        # recency for LRU/TTL
+        self.last_idle_ms = now        # when it last became idle
+        self.active: List["Request"] = []
+        # Priority-policy bookkeeping (GDSF / CIP).
+        self.clock = 0.0
+        self.reuse_count = 0           # invocations served by this container
+        self.priority = 0.0
+        self.compressed_mem_fraction = 1.0
+        self.worker = None             # backref set by Worker.add()
+        # Whether this container was provisioned speculatively (BSS path)
+        # rather than bound to a specific request; used for waste accounting.
+        self.speculative = speculative
+        self.served_any = False
+
+    # ------------------------------------------------------------------
+    # State predicates
+
+    @property
+    def is_provisioning(self) -> bool:
+        return self.state is ContainerState.PROVISIONING
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state is ContainerState.IDLE
+
+    @property
+    def is_busy(self) -> bool:
+        return self.state is ContainerState.BUSY
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.state is ContainerState.COMPRESSED
+
+    @property
+    def is_evictable(self) -> bool:
+        """Only idle or compressed containers may be reclaimed."""
+        return self.state in (ContainerState.IDLE, ContainerState.COMPRESSED)
+
+    @property
+    def free_slots(self) -> int:
+        """Execution slots available (``threads`` minus active requests)."""
+        if self.state in (ContainerState.IDLE, ContainerState.BUSY):
+            return self.threads - len(self.active)
+        return 0
+
+    @property
+    def memory_mb(self) -> float:
+        """Current footprint (shrinks in the COMPRESSED state)."""
+        return self.spec.memory_mb * self.compressed_mem_fraction
+
+    # ------------------------------------------------------------------
+    # Transitions (invoked by the orchestrator; they only flip local state)
+
+    def mark_ready(self, now: float) -> None:
+        if self.state is not ContainerState.PROVISIONING:
+            raise RuntimeError(f"mark_ready in state {self.state}")
+        self.state = ContainerState.IDLE
+        self.ready_ms = now
+        self.last_idle_ms = now
+
+    def start_request(self, request: "Request", now: float) -> None:
+        if self.free_slots <= 0:
+            raise RuntimeError("no free execution slot")
+        self.active.append(request)
+        self.state = ContainerState.BUSY
+        self.last_used_ms = now
+        self.reuse_count += 1
+        self.served_any = True
+
+    def finish_request(self, request: "Request", now: float) -> None:
+        self.active.remove(request)
+        self.last_used_ms = now
+        if not self.active:
+            self.state = ContainerState.IDLE
+            self.last_idle_ms = now
+
+    def compress(self, mem_fraction: float) -> None:
+        if self.state is not ContainerState.IDLE:
+            raise RuntimeError(f"compress in state {self.state}")
+        if not 0 < mem_fraction <= 1:
+            raise ValueError("mem_fraction must be in (0, 1]")
+        self.state = ContainerState.COMPRESSED
+        self.compressed_mem_fraction = mem_fraction
+
+    def decompress(self) -> None:
+        if self.state is not ContainerState.COMPRESSED:
+            raise RuntimeError(f"decompress in state {self.state}")
+        self.state = ContainerState.IDLE
+        self.compressed_mem_fraction = 1.0
+
+    def begin_restore(self, now: float) -> None:
+        """Start restoring a compressed container (CodeCrunch reuse path).
+
+        The container re-enters PROVISIONING at full footprint; the caller
+        is responsible for memory recharging and for scheduling the
+        ready event after the decompression latency.
+        """
+        if self.state is not ContainerState.COMPRESSED:
+            raise RuntimeError(f"begin_restore in state {self.state}")
+        self.state = ContainerState.PROVISIONING
+        self.compressed_mem_fraction = 1.0
+        self.created_ms = now
+        self.ready_ms = None
+
+    def mark_evicted(self) -> None:
+        if self.state is ContainerState.BUSY:
+            raise RuntimeError("cannot evict a busy container")
+        self.state = ContainerState.EVICTED
+
+    # ------------------------------------------------------------------
+
+    @property
+    def idle_ms(self) -> float:
+        """Timestamp bookkeeping helper: when the container last went idle."""
+        return self.last_idle_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Container #{self.container_id} {self.spec.name} "
+                f"{self.state.value} active={len(self.active)}>")

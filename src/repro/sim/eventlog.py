@@ -1,0 +1,109 @@
+"""Structured event logging for simulation runs.
+
+An :class:`EventLog` records the control-plane's lifecycle decisions —
+arrivals, provision starts/completions, execution starts/ends, evictions —
+as typed, timestamped records. It exists for observability: debugging a
+policy, tracing one function's containers through a run, or explaining a
+single request's latency (``explain_request``).
+
+Logging is opt-in (``Orchestrator(..., event_log=EventLog())``) and adds
+one append per event when enabled, nothing when not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+class EventKind(enum.Enum):
+    ARRIVAL = "arrival"
+    PROVISION_START = "provision_start"
+    CONTAINER_READY = "container_ready"
+    EXEC_START = "exec_start"
+    EXEC_END = "exec_end"
+    EVICTION = "eviction"
+    COMPRESSION = "compression"
+    RESTORE_START = "restore_start"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One control-plane event."""
+
+    time_ms: float
+    kind: EventKind
+    func: str
+    container_id: Optional[int] = None
+    req_id: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"{self.time_ms:12.3f}", self.kind.value, self.func]
+        if self.container_id is not None:
+            parts.append(f"c{self.container_id}")
+        if self.req_id is not None:
+            parts.append(f"r{self.req_id}")
+        if self.detail:
+            parts.append(self.detail)
+        return "  ".join(parts)
+
+
+class EventLog:
+    """Accumulates :class:`Event` records during a run."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        """``capacity`` bounds memory: oldest events are dropped beyond
+        it (None = unbounded)."""
+        self.events: List[Event] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, time_ms: float, kind: EventKind, func: str,
+               container_id: Optional[int] = None,
+               req_id: Optional[int] = None, detail: str = "") -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            del self.events[:len(self.events) // 2]
+            self.dropped += 1
+        self.events.append(Event(time_ms, kind, func, container_id,
+                                 req_id, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def of_func(self, func: str) -> List[Event]:
+        return [e for e in self.events if e.func == func]
+
+    def of_container(self, container_id: int) -> List[Event]:
+        return [e for e in self.events
+                if e.container_id == container_id]
+
+    def explain_request(self, req_id: int) -> List[Event]:
+        """All events involving one request plus its serving container's
+        provisioning history — the latency story of that request."""
+        mine = [e for e in self.events if e.req_id == req_id]
+        containers = {e.container_id for e in mine
+                      if e.container_id is not None}
+        related = [e for e in self.events
+                   if e.req_id is None and e.container_id in containers
+                   and e.kind in (EventKind.PROVISION_START,
+                                  EventKind.CONTAINER_READY,
+                                  EventKind.EVICTION)]
+        merged = sorted(mine + related,
+                        key=lambda e: (e.time_ms, e.kind.value))
+        return merged
+
+    def render(self, events: Optional[Iterable[Event]] = None) -> str:
+        """Human-readable dump (of a query result or everything)."""
+        chosen = list(events) if events is not None else self.events
+        return "\n".join(str(e) for e in chosen)

@@ -1,0 +1,532 @@
+"""The FaaS control plane: request routing, speculative scaling, eviction.
+
+:class:`Orchestrator` wires together the event engine, the worker pool, a
+pluggable :class:`~repro.policies.base.OrchestrationPolicy`, and the metric
+collector. It implements the mechanism of the paper's Figure 11:
+
+* arrivals are first matched against idle warm containers (true warm starts,
+  Step 1a);
+* requests that find none are routed by the policy's scaling decision
+  (Step 1b): a bound cold start, the delayed-warm-start queue, or both
+  simultaneously (speculative scaling);
+* a per-function FIFO of *waiters* is drained work-conservingly by whichever
+  execution slot becomes available first — a finishing busy container
+  (Step 2a, a delayed warm start) or a completed provision (Step 2b, a cold
+  start);
+* provisioning claims memory up front; when the cache is full the policy's
+  ``make_room`` evicts lowest-priority idle containers (Step 2c, the
+  ``REPLACE`` subroutine), and provisions that still cannot fit wait in a
+  pending queue retried whenever capacity may have freed.
+
+The orchestrator is deliberately policy-agnostic: CIDRE, FaasCache, TTL and
+every other baseline differ only in the policy object plugged in.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.container import Container, ContainerState
+from repro.sim.engine import Simulator
+from repro.sim.eventlog import EventKind, EventLog
+from repro.sim.function import FunctionSpec
+from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.sim.request import Request, StartType
+from repro.sim.worker import Worker
+from repro.policies.base import (OrchestrationPolicy, ScalingAction,
+                                 ScalingDecision)
+
+
+@dataclass
+class _Waiter:
+    """A queued request waiting for an execution slot."""
+
+    request: Request
+    may_use_busy: bool
+    #: Busy container this waiter committed to (bounded-queue what-if).
+    committed: Optional[Container] = None
+    #: Provisioning container dedicated to this waiter (vanilla cold start).
+    bound: Optional[Container] = None
+    served: bool = False
+
+
+@dataclass
+class _PendingProvision:
+    """A provision that could not claim memory yet."""
+
+    spec: FunctionSpec
+    worker: Worker
+    waiter: Optional[_Waiter]
+    speculative: bool
+    prewarm: bool = False
+    abandoned: bool = False
+
+
+class Orchestrator:
+    """Simulates a FaaS cluster under one orchestration policy.
+
+    Parameters
+    ----------
+    functions:
+        The deployed functions (must cover every function in the trace).
+    policy:
+        The orchestration policy under test.
+    config:
+        Cluster shape and knobs.
+    """
+
+    def __init__(self, functions: Iterable[FunctionSpec],
+                 policy: OrchestrationPolicy,
+                 config: Optional[SimulationConfig] = None,
+                 event_log: Optional["EventLog"] = None):
+        self.config = config or SimulationConfig()
+        self.policy = policy
+        self.sim = Simulator()
+        self.metrics = MetricsCollector()
+        self.event_log = event_log
+        self.specs: Dict[str, FunctionSpec] = {f.name: f for f in functions}
+        self._workers: List[Worker] = [
+            Worker(i, self.config.per_worker_mb)
+            for i in range(self.config.workers)
+        ]
+        for spec in self.specs.values():
+            if spec.memory_mb > self.config.per_worker_mb:
+                raise ValueError(
+                    f"{spec.name} needs {spec.memory_mb} MB but each worker "
+                    f"has only {self.config.per_worker_mb} MB")
+        self._waiters: Dict[str, Deque[_Waiter]] = {}
+        self._unserved: Dict[str, int] = {}
+        self._committed: Dict[int, Deque[_Waiter]] = {}
+        self._pending: List[_PendingProvision] = []
+        self._pending_by_func: Dict[str, int] = {}
+        self._retry_scheduled = False
+        policy.bind(self)
+
+    # ==================================================================
+    # PolicyContext facade
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def workers(self) -> List[Worker]:
+        return self._workers
+
+    def spec_of(self, func: str) -> FunctionSpec:
+        return self.specs[func]
+
+    def outstanding_waiters(self, func: str) -> int:
+        return self._unserved.get(func, 0)
+
+    def waiting_functions(self) -> List[str]:
+        """Functions with at least one unserved queued request."""
+        return [func for func, count in self._unserved.items() if count]
+
+    def provisions_in_flight(self, func: str) -> int:
+        """Containers of ``func`` being provisioned *or* waiting for memory
+        to start provisioning. The scaling policies use this to avoid
+        re-provisioning for a backlog that is already covered."""
+        started = sum(len(w.provisioning_of(func)) for w in self._workers)
+        return started + self._pending_by_func.get(func, 0)
+
+    def speculate_for(self, func: str) -> bool:
+        """Provision one unbound speculative container for ``func``.
+
+        Used by CSS's queue re-evaluation (§4: the policy evaluates the
+        outstanding request at the head of the channel and may decide to
+        start a container for it after all). Returns False when the
+        provision had to be deferred for memory.
+        """
+        worker = self._dispatch(func)
+        container = self._provision(self.specs[func], worker, waiter=None,
+                                    speculative=True)
+        return container is not None
+
+    def oldest_waiter_age_ms(self, func: str) -> float:
+        queue = self._waiters.get(func)
+        if not queue:
+            return 0.0
+        while queue and queue[0].served:
+            queue.popleft()
+        for waiter in queue:
+            if not waiter.served:
+                return self.sim.now - waiter.request.arrival_ms
+        return 0.0
+
+    def evict(self, container: Container) -> None:
+        """Reclaim an evictable container (policy-triggered or REPLACE)."""
+        worker = container.worker
+        if worker is None:
+            return
+        if container.speculative and not container.served_any:
+            self.metrics.wasted_cold_starts += 1
+        worker.remove(container)
+        self.metrics.evictions += 1
+        self._log(EventKind.EVICTION, container.spec.name,
+                  container_id=container.container_id)
+        self.policy.on_eviction([container], self.sim.now)
+
+    def compress(self, container: Container, mem_fraction: float) -> None:
+        """CodeCrunch-style: shrink an idle container instead of evicting."""
+        worker = container.worker
+        old_mb = container.memory_mb
+        container.compress(mem_fraction)
+        worker.recharge(container, old_mb)
+        self._log(EventKind.COMPRESSION, container.spec.name,
+                  container_id=container.container_id)
+
+    def prewarm(self, spec: FunctionSpec, worker: Worker) -> bool:
+        """Provision a container ahead of demand (IceBreaker / ENSURE)."""
+        if not self.policy.make_room(worker, spec.memory_mb, self.sim.now,
+                                     for_func=spec.name):
+            return False
+        self._begin_provision(spec, worker, waiter=None, speculative=False,
+                              prewarm=True)
+        return True
+
+    # ==================================================================
+    # Public driver
+
+    def run(self, requests: Sequence[Request]) -> SimulationResult:
+        """Replay ``requests`` (sorted by arrival) and return the result."""
+        ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.req_id))
+        for i, req in enumerate(ordered):
+            if req.req_id < 0:
+                req.req_id = i
+            if req.func not in self.specs:
+                raise KeyError(f"request targets unknown function {req.func}")
+            self.sim.at(req.arrival_ms, self._on_arrival, req)
+        if self.config.memory_sample_interval_ms > 0:
+            self.sim.every(self.config.memory_sample_interval_ms,
+                           self._sample_memory, start_delay=0.0)
+        if self.policy.maintenance_interval_ms:
+            self.sim.every(self.policy.maintenance_interval_ms,
+                           self._run_maintenance)
+        self.sim.run()
+        self._finalize(ordered)
+        return self.metrics.result()
+
+    # ==================================================================
+    # Arrival path
+
+    def _on_arrival(self, request: Request) -> None:
+        now = self.sim.now
+        worker = self._dispatch(request.func)
+        self._log(EventKind.ARRIVAL, request.func, req_id=request.req_id)
+        self.policy.on_request_arrival(request, worker, now)
+
+        # Step 1a: true warm start on an idle container / free slot.
+        candidate = worker.slot_available(request.func)
+        if candidate is not None:
+            self._start_exec(candidate, request, StartType.WARM)
+            return
+
+        # CodeCrunch path: restore a compressed container of this function
+        # at a fraction of the cold-start cost.
+        if getattr(self.policy, "reuse_compressed", False):
+            compressed = worker.compressed_of(request.func)
+            if compressed:
+                target = max(compressed, key=lambda c: c.last_used_ms)
+                if self._begin_restore(target, request, worker):
+                    return
+
+        # Step 1b: no idle capacity — consult the scaling policy.
+        decision = self.policy.scale(request, worker, now)
+        decision = self._validate_decision(decision, request, worker)
+        waiter = _Waiter(request,
+                         may_use_busy=decision.action is not ScalingAction.COLD,
+                         committed=decision.target)
+        self._enqueue_waiter(waiter)
+        if decision.target is not None:
+            self._committed.setdefault(
+                decision.target.container_id, deque()).append(waiter)
+
+        if decision.action in (ScalingAction.COLD, ScalingAction.SPECULATE):
+            speculative = decision.action is ScalingAction.SPECULATE
+            bound = None if speculative else waiter
+            self._provision(self.specs[request.func], worker,
+                            waiter=bound, speculative=speculative)
+
+    def _validate_decision(self, decision: ScalingDecision, request: Request,
+                           worker: Worker) -> ScalingDecision:
+        """Queue-only decisions need someone to eventually serve the waiter;
+        otherwise escalate to a cold start."""
+        if decision.action is not ScalingAction.QUEUE:
+            return decision
+        func = request.func
+        has_supply = (bool(worker.busy_of(func))
+                      or bool(worker.provisioning_of(func)))
+        if not has_supply:
+            return ScalingDecision.cold()
+        if decision.target is not None and not decision.target.is_busy:
+            return ScalingDecision.queue()
+        return decision
+
+    # ==================================================================
+    # Provisioning path
+
+    def _provision(self, spec: FunctionSpec, worker: Worker,
+                   waiter: Optional[_Waiter], speculative: bool,
+                   prewarm: bool = False) -> Optional[Container]:
+        if not self.policy.make_room(worker, spec.memory_mb, self.sim.now,
+                                     for_func=spec.name):
+            self._pending.append(_PendingProvision(
+                spec, worker, waiter, speculative, prewarm))
+            self._pending_by_func[spec.name] = \
+                self._pending_by_func.get(spec.name, 0) + 1
+            return None
+        return self._begin_provision(spec, worker, waiter, speculative,
+                                     prewarm)
+
+    def _begin_provision(self, spec: FunctionSpec, worker: Worker,
+                         waiter: Optional[_Waiter], speculative: bool,
+                         prewarm: bool) -> Container:
+        now = self.sim.now
+        cost = self.policy.provision_cost_ms(spec, worker, now)
+        container = Container(spec, now,
+                              threads=self.config.threads_per_container,
+                              speculative=speculative)
+        worker.add(container)
+        if waiter is not None:
+            waiter.bound = container
+        if prewarm:
+            self.metrics.prewarm_starts += 1
+        else:
+            self.metrics.cold_starts_begun += 1
+        self.metrics.provisioned_mb += container.memory_mb
+        self._log(EventKind.PROVISION_START, spec.name,
+                  container_id=container.container_id,
+                  detail="prewarm" if prewarm
+                  else ("speculative" if speculative else "bound"))
+        self.policy.on_provision_started(container, now)
+        self.sim.schedule(cost, self._on_ready, container, waiter)
+        return container
+
+    def _begin_restore(self, container: Container, request: Request,
+                       worker: Worker) -> bool:
+        """Decompress ``container`` to serve ``request`` (CodeCrunch).
+
+        Returns False (leaving the container compressed) when the extra
+        memory for the full footprint cannot be freed.
+        """
+        now = self.sim.now
+        old_mb = container.memory_mb
+        delta = container.spec.memory_mb - old_mb
+        container.begin_restore(now)  # not evictable while we make room
+        if not self.policy.make_room(worker, delta, now,
+                                     for_func=request.func):
+            container.state = ContainerState.COMPRESSED
+            container.compressed_mem_fraction = \
+                old_mb / container.spec.memory_mb
+            return False
+        worker.recharge(container, old_mb)
+        self._log(EventKind.RESTORE_START, request.func,
+                  container_id=container.container_id,
+                  req_id=request.req_id)
+        waiter = _Waiter(request, may_use_busy=False, bound=container)
+        self._enqueue_waiter(waiter)
+        self.metrics.restores += 1
+        cost = self.policy.restore_cost_ms(container.spec)
+        self.sim.schedule(cost, self._on_ready, container, waiter)
+        return True
+
+    def _on_ready(self, container: Container,
+                  waiter: Optional[_Waiter]) -> None:
+        if container.state is ContainerState.EVICTED:  # pragma: no cover
+            return
+        now = self.sim.now
+        container.mark_ready(now)
+        self._log(EventKind.CONTAINER_READY, container.spec.name,
+                  container_id=container.container_id)
+        self.policy.on_container_ready(container, now)
+        if waiter is not None and not waiter.served:
+            self._serve(container, waiter, StartType.COLD)
+        # Unbound (speculative / prewarmed) containers pick up the oldest
+        # queued request of their function; with multi-slot containers a
+        # fresh container can absorb several.
+        while container.free_slots > 0:
+            pending = self._next_unbound_waiter(container.spec.name)
+            if pending is None:
+                break
+            self._serve(container, pending, StartType.COLD)
+
+    # ==================================================================
+    # Execution path
+
+    def _enqueue_waiter(self, waiter: _Waiter) -> None:
+        func = waiter.request.func
+        self._waiters.setdefault(func, deque()).append(waiter)
+        self._unserved[func] = self._unserved.get(func, 0) + 1
+
+    def _serve(self, container: Container, waiter: _Waiter,
+               start_type: StartType) -> None:
+        waiter.served = True
+        self._unserved[waiter.request.func] -= 1
+        self._start_exec(container, waiter.request, start_type)
+
+    def _start_exec(self, container: Container, request: Request,
+                    start_type: StartType) -> None:
+        now = self.sim.now
+        request.start_ms = now
+        request.start_type = start_type
+        request.container_id = container.container_id
+        self._log(EventKind.EXEC_START, request.func,
+                  container_id=container.container_id,
+                  req_id=request.req_id, detail=start_type.value)
+        container.start_request(request, now)
+        if start_type is StartType.WARM:
+            self.policy.on_warm_start(container, request, now)
+        elif start_type is StartType.DELAYED:
+            self.policy.on_delayed_start(container, request, now)
+        else:
+            self.policy.on_cold_start(container, request, now)
+        self.sim.schedule(request.exec_ms, self._on_complete, container,
+                          request)
+
+    def _on_complete(self, container: Container, request: Request) -> None:
+        now = self.sim.now
+        container.finish_request(request, now)
+        request.end_ms = now
+        self._log(EventKind.EXEC_END, request.func,
+                  container_id=container.container_id,
+                  req_id=request.req_id)
+        self.metrics.record_request(request)
+        self.policy.on_request_complete(container, request, now)
+        # Step 2a: the vacant slot serves queued waiters — first those
+        # committed to this container, then the function's FIFO.
+        while container.free_slots > 0:
+            waiter = self._next_waiter_for(container)
+            if waiter is None:
+                break
+            self._serve(container, waiter, StartType.DELAYED)
+        # Memory may now be reclaimable: retry blocked provisions.
+        if self._pending:
+            self._schedule_retry()
+
+    # ==================================================================
+    # Waiter queues
+
+    def _next_waiter_for(self, container: Container) -> Optional[_Waiter]:
+        """Oldest unserved waiter this vacant container may serve."""
+        committed = self._committed.get(container.container_id)
+        if committed:
+            while committed:
+                waiter = committed.popleft()
+                if not waiter.served:
+                    return waiter
+        return self._next_unbound_waiter(container.spec.name)
+
+    def _next_unbound_waiter(self, func: str) -> Optional[_Waiter]:
+        """Oldest unserved, uncommitted waiter allowed to use any slot."""
+        queue = self._waiters.get(func)
+        if not queue:
+            return None
+        # Trim served waiters off the front to keep scans short.
+        while queue and queue[0].served:
+            queue.popleft()
+        for waiter in queue:
+            if (not waiter.served and waiter.may_use_busy
+                    and waiter.committed is None and waiter.bound is None):
+                return waiter
+        return None
+
+    # ==================================================================
+    # Blocked provisions
+
+    def _schedule_retry(self) -> None:
+        if not self._retry_scheduled:
+            self._retry_scheduled = True
+            self.sim.schedule(0.0, self._retry_pending)
+
+    def _retry_pending(self) -> None:
+        self._retry_scheduled = False
+        still_blocked: List[_PendingProvision] = []
+        # Once a worker fails to free memory, stop hammering it this round:
+        # later (FIFO) provisions are no more likely to fit, and probing
+        # each pending entry would make retries quadratic under a burst.
+        # Entries skipped this way keep their (possibly stale) abandoned
+        # state and are re-checked on a later retry.
+        stuck_workers: set = set()
+        single_worker = len(self._workers) == 1
+        pending = self._pending
+        for i, pend in enumerate(pending):
+            if pend.worker.worker_id in stuck_workers:
+                if single_worker:
+                    still_blocked.extend(pending[i:])
+                    break
+                still_blocked.append(pend)
+                continue
+            if pend.abandoned or self._should_abandon(pend):
+                self._pending_by_func[pend.spec.name] -= 1
+                continue
+            if self.policy.make_room(pend.worker, pend.spec.memory_mb,
+                                     self.sim.now, for_func=pend.spec.name):
+                self._pending_by_func[pend.spec.name] -= 1
+                self._begin_provision(pend.spec, pend.worker, pend.waiter,
+                                      pend.speculative, pend.prewarm)
+            else:
+                stuck_workers.add(pend.worker.worker_id)
+                still_blocked.append(pend)
+        self._pending = still_blocked
+
+    def _should_abandon(self, pend: _PendingProvision) -> bool:
+        """Skip blocked provisions that no longer have anyone to serve."""
+        if pend.prewarm:
+            return True  # stale prewarm: demand has moved on
+        if pend.waiter is not None:
+            return pend.waiter.served
+        # Speculative: only useful while unserved waiters remain.
+        return self.outstanding_waiters(pend.spec.name) == 0
+
+    # ==================================================================
+    # Misc plumbing
+
+    def _log(self, kind: EventKind, func: str,
+             container_id: Optional[int] = None,
+             req_id: Optional[int] = None, detail: str = "") -> None:
+        if self.event_log is not None:
+            self.event_log.record(self.sim.now, kind, func, container_id,
+                                  req_id, detail)
+
+    def _dispatch(self, func: str) -> Worker:
+        if len(self._workers) == 1 or self.config.dispatch == "single":
+            return self._workers[0]
+        if self.config.dispatch == "hash":
+            idx = zlib.crc32(func.encode()) % len(self._workers)
+            return self._workers[idx]
+        return min(self._workers, key=lambda w: w.used_mb)
+
+    def _sample_memory(self) -> None:
+        used = sum(w.used_mb for w in self._workers)
+        self.metrics.record_memory(self.sim.now, used)
+
+    def _run_maintenance(self) -> None:
+        self.policy.on_maintenance(self.sim.now)
+        if self._pending:
+            self._schedule_retry()
+
+    def _finalize(self, requests: Sequence[Request]) -> None:
+        unfinished = [r for r in requests if not r.completed]
+        if unfinished:
+            raise RuntimeError(
+                f"{len(unfinished)} requests never completed "
+                f"(first: {unfinished[0]!r}); this indicates a scheduling "
+                f"deadlock or an over-constrained configuration")
+        # Count speculative containers that are still alive but were never
+        # reused — wasted cold starts in hindsight (§3.2).
+        for worker in self._workers:
+            for c in worker.containers.values():
+                if c.speculative and not c.served_any:
+                    self.metrics.wasted_cold_starts += 1
+
+
+def simulate(functions: Iterable[FunctionSpec],
+             requests: Sequence[Request],
+             policy: OrchestrationPolicy,
+             config: Optional[SimulationConfig] = None) -> SimulationResult:
+    """One-shot convenience wrapper: build an orchestrator and run it."""
+    return Orchestrator(functions, policy, config).run(requests)

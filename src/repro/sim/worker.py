@@ -1,0 +1,151 @@
+"""Worker (server) model: memory accounting and container registry.
+
+A worker hosts function containers inside a fixed memory capacity — the
+"function cache" of the paper. Containers occupy memory from the moment
+provisioning starts until they are evicted. Policies may additionally hold
+named reservations (e.g. RainbowCake's shared warm layers) that count
+against the same capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.sim.container import Container, ContainerState
+
+
+class Worker:
+    """One server in the cluster, holding warm containers in memory."""
+
+    def __init__(self, worker_id: int, capacity_mb: float):
+        if capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+        self.worker_id = worker_id
+        self.capacity_mb = float(capacity_mb)
+        self._used_mb = 0.0
+        self.containers: Dict[int, Container] = {}
+        self._by_func: Dict[str, Set[int]] = {}
+        self._reservations: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+
+    @property
+    def used_mb(self) -> float:
+        """Memory currently committed (containers + reservations)."""
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self._used_mb
+
+    def reserve(self, tag: str, mb: float) -> None:
+        """Hold ``mb`` of memory under ``tag`` (replaces a previous hold).
+
+        Used by layer-aware policies to account for shared warm layers that
+        are not whole containers. Raises if the new total would exceed
+        capacity.
+        """
+        if mb < 0:
+            raise ValueError("reservation must be >= 0")
+        delta = mb - self._reservations.get(tag, 0.0)
+        if delta > self.free_mb + 1e-9:
+            raise MemoryError(
+                f"worker {self.worker_id}: reservation {tag} needs "
+                f"{delta:.1f} MB but only {self.free_mb:.1f} free")
+        self._reservations[tag] = mb
+        self._used_mb += delta
+        if not self._reservations[tag]:
+            del self._reservations[tag]
+
+    def reservation(self, tag: str) -> float:
+        return self._reservations.get(tag, 0.0)
+
+    # ------------------------------------------------------------------
+    # Container registry
+
+    def add(self, container: Container) -> None:
+        """Admit a (provisioning) container, charging its memory."""
+        need = container.memory_mb
+        if need > self.free_mb + 1e-9:
+            raise MemoryError(
+                f"worker {self.worker_id}: container needs {need:.1f} MB "
+                f"but only {self.free_mb:.1f} MB free")
+        self.containers[container.container_id] = container
+        self._by_func.setdefault(container.spec.name, set()).add(
+            container.container_id)
+        self._used_mb += need
+        container.worker = self
+
+    def remove(self, container: Container) -> None:
+        """Evict a container, releasing its memory."""
+        if container.container_id not in self.containers:
+            raise KeyError(f"container {container.container_id} not hosted")
+        del self.containers[container.container_id]
+        ids = self._by_func[container.spec.name]
+        ids.discard(container.container_id)
+        if not ids:
+            del self._by_func[container.spec.name]
+        self._used_mb -= container.memory_mb
+        container.mark_evicted()
+        container.worker = None
+
+    def recharge(self, container: Container, old_mb: float) -> None:
+        """Adjust accounting after a container's footprint changed
+        (compression / decompression)."""
+        self._used_mb += container.memory_mb - old_mb
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def of_func(self, func: str) -> List[Container]:
+        """All containers (any state) of ``func`` on this worker."""
+        return [self.containers[i] for i in self._by_func.get(func, ())]
+
+    def idle_of(self, func: str) -> List[Container]:
+        return [c for c in self.of_func(func) if c.is_idle]
+
+    def busy_of(self, func: str) -> List[Container]:
+        return [c for c in self.of_func(func) if c.is_busy]
+
+    def provisioning_of(self, func: str) -> List[Container]:
+        return [c for c in self.of_func(func) if c.is_provisioning]
+
+    def compressed_of(self, func: str) -> List[Container]:
+        return [c for c in self.of_func(func) if c.is_compressed]
+
+    def warm_count(self, func: str) -> int:
+        """Number of warm (idle or busy) containers of ``func`` — the
+        ``|F(c)|`` term of the CIP priority (Eq. 3)."""
+        return sum(1 for c in self.of_func(func)
+                   if c.state in (ContainerState.IDLE, ContainerState.BUSY))
+
+    def slot_available(self, func: str) -> Optional[Container]:
+        """An idle container (or, with multi-thread containers, a busy one
+        with a free slot) that can take a request *now* as a warm start.
+
+        Prefers the most recently used candidate so that older containers
+        age out, matching keep-alive practice.
+        """
+        best: Optional[Container] = None
+        for c in self.of_func(func):
+            if c.state in (ContainerState.IDLE, ContainerState.BUSY) \
+                    and c.free_slots > 0:
+                if best is None or c.last_used_ms > best.last_used_ms:
+                    best = c
+        return best
+
+    def evictable(self) -> List[Container]:
+        """All containers that may be reclaimed right now."""
+        return [c for c in self.containers.values() if c.is_evictable]
+
+    def evictable_mb(self) -> float:
+        return sum(c.memory_mb for c in self.evictable())
+
+    def all_funcs(self) -> Iterable[str]:
+        return self._by_func.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Worker {self.worker_id} used={self._used_mb:.0f}/"
+                f"{self.capacity_mb:.0f} MB, "
+                f"{len(self.containers)} containers>")

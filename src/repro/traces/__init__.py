@@ -1,0 +1,38 @@
+"""Workload substrate: trace schema, synthetic generators, transforms."""
+
+from repro.traces.alibaba import (fc_arrivals, fc_population,
+                                  fc_production_arrivals,
+                                  fc_production_trace, fc_trace)
+from repro.traces.azure import (azure_arrivals, azure_population,
+                                azure_trace)
+from repro.traces.azure_dataset import (AzureFunctionRow,
+                                        azure_dataset_trace, build_trace,
+                                        load_dataset)
+from repro.traces.io import load_trace, save_trace
+from repro.traces.schema import Trace
+from repro.traces.stats import (WorkloadStats, cold_to_exec_ratios,
+                                concurrency_per_minute, execution_time_cv,
+                                fraction_cold_dominated, workload_stats)
+from repro.traces.synth import (ArrivalModel, FunctionPopulation,
+                                draw_burst_sizes, synth_functions,
+                                synth_trace, zipf_shares)
+from repro.traces.transforms import (map_requests, scale_cold_start,
+                                     scale_exec_time, scale_iat)
+from repro.traces.workflows import (WorkflowSpec, WorkflowStage,
+                                    generate_job, mapreduce,
+                                    video_pipeline, workflow_trace)
+
+__all__ = [
+    "ArrivalModel", "AzureFunctionRow", "FunctionPopulation", "Trace",
+    "WorkflowSpec", "WorkflowStage", "WorkloadStats",
+    "azure_dataset_trace",
+    "azure_arrivals", "azure_population", "azure_trace", "build_trace",
+    "cold_to_exec_ratios", "concurrency_per_minute", "draw_burst_sizes",
+    "execution_time_cv", "fc_arrivals", "fc_population",
+    "fc_production_arrivals", "fc_production_trace", "fc_trace",
+    "fraction_cold_dominated", "load_dataset", "load_trace",
+    "map_requests", "save_trace",
+    "generate_job", "mapreduce", "scale_cold_start", "scale_exec_time",
+    "scale_iat", "synth_functions", "synth_trace", "video_pipeline",
+    "workflow_trace", "workload_stats", "zipf_shares",
+]

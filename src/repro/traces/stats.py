@@ -1,0 +1,136 @@
+"""Workload statistics — Table 1 and the Fig. 2/3 trace characterizations.
+
+* :func:`workload_stats` computes Table 1's rows: request count, requests
+  per second (avg / min / max over one-second windows), and GBps — "the
+  aggregate memory size of all requests per second in GBs".
+* :func:`concurrency_per_minute` computes each function's requests-per-
+  minute samples, whose pooled distribution is the Fig. 3 concurrency CDF.
+* :func:`cold_to_exec_ratios` computes the Fig. 2 cold-start-latency to
+  execution-time ratio per request, with an optional ms/MB scaling factor
+  reproducing the paper's f=1,2,3 estimates for Azure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.traces.schema import Trace
+
+MB_PER_GB = 1024.0
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """One row of Table 1."""
+
+    name: str
+    num_requests: int
+    rps_avg: float
+    rps_min: float
+    rps_max: float
+    gbps_avg: float
+    gbps_min: float
+    gbps_max: float
+
+    def row(self) -> str:
+        return (f"{self.name:>12s}  {self.num_requests:>9,d}   "
+                f"{self.rps_avg:,.0f} / {self.rps_min:,.0f} / "
+                f"{self.rps_max:,.0f}   "
+                f"{self.gbps_avg:,.1f} / {self.gbps_min:,.1f} / "
+                f"{self.gbps_max:,.1f}")
+
+
+def workload_stats(trace: Trace, bucket_ms: float = 1_000.0
+                   ) -> WorkloadStats:
+    """Compute Table 1-style statistics over fixed one-second buckets."""
+    if not trace.requests:
+        return WorkloadStats(trace.name, 0, 0, 0, 0, 0, 0, 0)
+    arrivals = np.array([r.arrival_ms for r in trace.requests])
+    memory = np.array([trace.spec_of(r.func).memory_mb
+                       for r in trace.requests]) / MB_PER_GB
+    start = arrivals.min()
+    buckets = ((arrivals - start) // bucket_ms).astype(int)
+    n_buckets = int(buckets.max()) + 1
+    counts = np.bincount(buckets, minlength=n_buckets)
+    gb = np.bincount(buckets, weights=memory, minlength=n_buckets)
+    per_sec = bucket_ms / 1_000.0
+    rps = counts / per_sec
+    gbps = gb / per_sec
+    return WorkloadStats(
+        name=trace.name,
+        num_requests=len(trace.requests),
+        rps_avg=float(rps.mean()),
+        rps_min=float(rps.min()),
+        rps_max=float(rps.max()),
+        gbps_avg=float(gbps.mean()),
+        gbps_min=float(gbps.min()),
+        gbps_max=float(gbps.max()),
+    )
+
+
+def concurrency_per_minute(trace: Trace) -> np.ndarray:
+    """Per-function, per-minute request counts (nonzero minutes only).
+
+    Each sample is one function's requests/minute in one minute — the
+    quantity whose CDF the paper plots in Fig. 3.
+    """
+    if not trace.requests:
+        return np.zeros(0)
+    per_func: Dict[str, List[float]] = {}
+    for req in trace.requests:
+        per_func.setdefault(req.func, []).append(req.arrival_ms)
+    samples: List[int] = []
+    for arrivals in per_func.values():
+        arr = np.asarray(arrivals)
+        minutes = ((arr - arr.min()) // 60_000.0).astype(int)
+        counts = np.bincount(minutes)
+        samples.extend(int(c) for c in counts if c > 0)
+    return np.asarray(samples, dtype=float)
+
+
+def cold_to_exec_ratios(trace: Trace,
+                        ms_per_mb: Optional[float] = None) -> np.ndarray:
+    """Fig. 2: per-request ratio of cold-start latency to execution time.
+
+    With ``ms_per_mb`` set, the cold-start latency is *estimated* from the
+    function's memory footprint (the paper's Azure methodology, f=1,2,3);
+    otherwise each function's own ``cold_start_ms`` is used (the FC
+    methodology, where real cold-start measurements exist).
+    """
+    ratios: List[float] = []
+    for req in trace.requests:
+        spec = trace.spec_of(req.func)
+        if ms_per_mb is not None:
+            cold = spec.memory_mb * ms_per_mb
+        else:
+            cold = spec.cold_start_ms
+        ratios.append(cold / max(req.exec_ms, 1e-9))
+    return np.asarray(ratios)
+
+
+def fraction_cold_dominated(trace: Trace,
+                            ms_per_mb: Optional[float] = None) -> float:
+    """Fraction of requests whose cold start exceeds their execution time
+    (the paper reports 40.4% for FC)."""
+    ratios = cold_to_exec_ratios(trace, ms_per_mb)
+    if ratios.size == 0:
+        return 0.0
+    return float((ratios > 1.0).mean())
+
+
+def execution_time_cv(trace: Trace) -> Dict[str, float]:
+    """Per-function coefficient of variation of execution time (§2.6)."""
+    per_func: Dict[str, List[float]] = {}
+    for req in trace.requests:
+        per_func.setdefault(req.func, []).append(req.exec_ms)
+    out: Dict[str, float] = {}
+    for func, execs in per_func.items():
+        arr = np.asarray(execs)
+        if len(arr) < 2 or arr.mean() == 0:
+            out[func] = 0.0
+        else:
+            out[func] = float(arr.std(ddof=1) / arr.mean())
+    return out

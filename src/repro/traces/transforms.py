@@ -1,0 +1,70 @@
+"""Trace transforms used by the paper's sensitivity studies.
+
+* :func:`scale_iat` — compress/stretch inter-arrival times (Fig. 19's
+  0.5x/1x/2x IAT levels; Fig. 16's concurrency sweep);
+* :func:`scale_exec_time` — multiply execution times (Fig. 10, Fig. 20,
+  Table 2's 1.0x/1.5x/2.0x execution times);
+* :func:`scale_cold_start` — multiply cold-start costs (Fig. 9's
+  0.25x-1.0x cold-start overhead sweep).
+
+All transforms return new :class:`~repro.traces.schema.Trace` objects and
+leave the input untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.sim.request import Request
+from repro.traces.schema import Trace
+
+
+def scale_iat(trace: Trace, factor: float, name: str = "") -> Trace:
+    """Scale inter-arrival times by ``factor``.
+
+    ``factor < 1`` compresses the trace (higher load / concurrency);
+    ``factor > 1`` stretches it (lower load). Arrival times are scaled
+    around the trace start so that relative structure is preserved.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    if not trace.requests:
+        return Trace(name or trace.name, list(trace.functions), [])
+    origin = trace.requests[0].arrival_ms
+    requests = [
+        Request(r.func, origin + (r.arrival_ms - origin) * factor, r.exec_ms)
+        for r in trace.requests
+    ]
+    return Trace(name or f"{trace.name}-iat{factor:g}x",
+                 list(trace.functions), requests)
+
+
+def scale_exec_time(trace: Trace, factor: float, name: str = "") -> Trace:
+    """Scale every request's execution time by ``factor`` (Fig. 20)."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    requests = [Request(r.func, r.arrival_ms, r.exec_ms * factor)
+                for r in trace.requests]
+    return Trace(name or f"{trace.name}-exec{factor:g}x",
+                 list(trace.functions), requests)
+
+
+def scale_cold_start(trace: Trace, factor: float, name: str = "") -> Trace:
+    """Scale every function's cold-start cost by ``factor`` (Fig. 9)."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    functions = [replace(f, cold_start_ms=f.cold_start_ms * factor)
+                 for f in trace.functions]
+    requests = [Request(r.func, r.arrival_ms, r.exec_ms)
+                for r in trace.requests]
+    return Trace(name or f"{trace.name}-cold{factor:g}x",
+                 functions, requests)
+
+
+def map_requests(trace: Trace, fn: Callable[[Request], Request],
+                 name: str = "") -> Trace:
+    """Generic per-request transform (for custom what-ifs)."""
+    requests = [fn(r) for r in trace.requests]
+    return Trace(name or f"{trace.name}-mapped",
+                 list(trace.functions), requests)

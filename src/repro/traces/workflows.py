@@ -1,0 +1,162 @@
+"""Burst-parallel workflow (DAG) workload generation.
+
+The paper motivates concurrency-driven scaling with burst-parallel,
+stateful workflow processing (Sprocket-style video pipelines, ExCamera,
+serverless analytics): one job fans out into tens-to-thousands of
+concurrent invocations of the same function, then fans back in. This
+module generates such workloads as first-class traces:
+
+* a :class:`WorkflowStage` is one function with a fan-out degree
+  distribution and an execution-time distribution;
+* a :class:`WorkflowSpec` chains stages; each *job* instantiates the chain
+  with stage ``k+1``'s invocations released when stage ``k``'s slowest
+  invocation completes (the ideal-DAG approximation — like §2.5, scheduling
+  overhead is not baked into the trace, the simulator adds it at replay);
+* :func:`workflow_trace` superimposes a Poisson stream of jobs, optionally
+  on top of a background trace.
+
+These are the workloads where delayed warm starts shine: every fan-out is
+a concurrency spike against a warm pool sized for the previous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+from repro.traces.schema import Trace
+
+
+@dataclass(frozen=True)
+class WorkflowStage:
+    """One stage of a burst-parallel workflow.
+
+    Parameters
+    ----------
+    name:
+        Stage (function) name, unique within the workflow.
+    memory_mb / cold_start_ms:
+        Container shape of the stage's function.
+    fanout_min / fanout_max:
+        Each job invokes this stage ``U[fanout_min, fanout_max]`` times
+        concurrently (1/1 for sequential stages).
+    exec_median_ms / exec_sigma:
+        Lognormal execution-time distribution of one invocation.
+    """
+
+    name: str
+    memory_mb: float = 512.0
+    cold_start_ms: float = 1_000.0
+    fanout_min: int = 1
+    fanout_max: int = 1
+    exec_median_ms: float = 300.0
+    exec_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.fanout_min <= self.fanout_max:
+            raise ValueError(
+                f"{self.name}: need 1 <= fanout_min <= fanout_max")
+        if self.exec_median_ms <= 0:
+            raise ValueError(f"{self.name}: exec_median_ms must be > 0")
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """A chain of stages executed per job."""
+
+    name: str
+    stages: Tuple[WorkflowStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a workflow needs at least one stage")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError("stage names must be unique")
+
+    def function_specs(self) -> List[FunctionSpec]:
+        return [FunctionSpec(name=f"{self.name}-{s.name}",
+                             memory_mb=s.memory_mb,
+                             cold_start_ms=s.cold_start_ms,
+                             app=self.name)
+                for s in self.stages]
+
+
+def video_pipeline(name: str = "video") -> WorkflowSpec:
+    """The Sprocket-style pipeline from the paper's motivation."""
+    return WorkflowSpec(name, (
+        WorkflowStage("split", memory_mb=256, cold_start_ms=600,
+                      exec_median_ms=250.0),
+        WorkflowStage("transcode", memory_mb=768, cold_start_ms=1_500,
+                      fanout_min=50, fanout_max=400,
+                      exec_median_ms=400.0),
+        WorkflowStage("stitch", memory_mb=512, cold_start_ms=1_000,
+                      exec_median_ms=700.0),
+    ))
+
+
+def mapreduce(name: str = "mapreduce", mappers: int = 100,
+              reducers: int = 10) -> WorkflowSpec:
+    """An Occupy-the-Cloud-style map/shuffle/reduce job."""
+    return WorkflowSpec(name, (
+        WorkflowStage("map", memory_mb=512, cold_start_ms=1_000,
+                      fanout_min=max(mappers // 2, 1), fanout_max=mappers,
+                      exec_median_ms=500.0),
+        WorkflowStage("reduce", memory_mb=1_024, cold_start_ms=2_000,
+                      fanout_min=max(reducers // 2, 1),
+                      fanout_max=reducers, exec_median_ms=900.0),
+    ))
+
+
+def generate_job(rng: np.random.Generator, workflow: WorkflowSpec,
+                 start_ms: float,
+                 stage_jitter_ms: float = 100.0) -> List[Request]:
+    """Instantiate one job: stage k+1 starts when stage k's slowest
+    invocation would complete (zero-overhead DAG approximation)."""
+    requests: List[Request] = []
+    stage_start = start_ms
+    for stage in workflow.stages:
+        fanout = int(rng.integers(stage.fanout_min, stage.fanout_max + 1))
+        offsets = rng.uniform(0.0, stage_jitter_ms, size=fanout)
+        execs = stage.exec_median_ms * rng.lognormal(
+            0.0, stage.exec_sigma, size=fanout)
+        latest_completion = stage_start
+        for offset, exec_ms in zip(offsets, execs):
+            arrival = stage_start + float(offset)
+            requests.append(Request(f"{workflow.name}-{stage.name}",
+                                    arrival, float(max(exec_ms, 1.0))))
+            latest_completion = max(latest_completion,
+                                    arrival + float(exec_ms))
+        stage_start = latest_completion
+    return requests
+
+
+def workflow_trace(workflows: Sequence[WorkflowSpec],
+                   jobs_per_workflow: Sequence[int],
+                   duration_ms: float,
+                   seed: int = 0,
+                   name: str = "workflows",
+                   background: Optional[Trace] = None) -> Trace:
+    """A Poisson stream of jobs per workflow, optionally superimposed on a
+    background trace (the co-tenant traffic of a shared cluster)."""
+    if len(workflows) != len(jobs_per_workflow):
+        raise ValueError("need one job count per workflow")
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    rng = np.random.default_rng(seed)
+    functions: List[FunctionSpec] = []
+    requests: List[Request] = []
+    for workflow, jobs in zip(workflows, jobs_per_workflow):
+        functions.extend(workflow.function_specs())
+        starts = np.sort(rng.uniform(0.0, duration_ms, size=jobs))
+        for start in starts:
+            requests.extend(generate_job(rng, workflow, float(start)))
+    if background is not None:
+        functions.extend(background.functions)
+        requests.extend(Request(r.func, r.arrival_ms, r.exec_ms)
+                        for r in background.requests)
+    return Trace(name, functions, requests)

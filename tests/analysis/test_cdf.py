@@ -1,0 +1,73 @@
+"""Tests for ECDF utilities and crossover detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import ECDF, crossover, fraction_below
+
+
+class TestECDF:
+    def test_evaluation(self):
+        cdf = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_percentiles(self):
+        cdf = ECDF(range(101))
+        assert cdf.percentile(50) == 50.0
+        assert cdf.percentile(99) == pytest.approx(99.0)
+
+    def test_mean_and_len(self):
+        cdf = ECDF([2.0, 4.0])
+        assert cdf.mean() == 3.0
+        assert len(cdf) == 2
+
+    def test_grid(self):
+        cdf = ECDF([0.0, 10.0])
+        xs, ys = cdf.grid(points=3)
+        assert list(xs) == [0.0, 5.0, 10.0]
+        assert ys[0] == 0.5
+        assert ys[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_monotone_nondecreasing(self, samples):
+        cdf = ECDF(samples)
+        grid = np.linspace(min(samples) - 1, max(samples) + 1, 50)
+        values = [cdf(x) for x in grid]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+
+class TestCrossover:
+    def test_crossing_distributions(self):
+        # a: mostly small values but a heavy tail; b: constant mid values.
+        a = ECDF([10.0] * 70 + [2_000.0] * 30)
+        b = ECDF([500.0] * 100)
+        x = crossover(a, b)
+        assert x is not None
+        assert 10.0 <= x <= 2_000.0
+
+    def test_dominating_distribution_no_cross(self):
+        a = ECDF([1.0, 2.0, 3.0])
+        b = ECDF([10.0, 20.0, 30.0])
+        assert crossover(a, b) is None
+
+    def test_identical_distributions_no_cross(self):
+        a = ECDF([1.0, 2.0])
+        b = ECDF([1.0, 2.0])
+        assert crossover(a, b) is None
+
+
+class TestFractionBelow:
+    def test_basic(self):
+        assert fraction_below([1, 2, 3, 4], 3) == 0.5
+        assert fraction_below([], 3) == 0.0

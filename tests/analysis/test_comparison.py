@@ -1,0 +1,78 @@
+"""Tests for the policy comparison helpers."""
+
+import pytest
+
+from repro.analysis.comparison import (Comparison, best_policy, compare,
+                                       comparison_table)
+from repro.sim.metrics import MemorySample, SimulationResult
+from repro.sim.request import Request, StartType
+
+
+def result(wait=100.0, exec_ms=100.0, n=10, start_type=StartType.COLD,
+           mem=500.0):
+    requests = []
+    for i in range(n):
+        r = Request("f", 0.0, exec_ms)
+        r.start_ms = wait
+        r.end_ms = wait + exec_ms
+        r.start_type = start_type
+        requests.append(r)
+    return SimulationResult(requests,
+                            memory_samples=[MemorySample(0.0, mem)])
+
+
+class TestCompare:
+    def test_improvement_percentages(self):
+        baseline = result(wait=200.0, mem=1000.0)
+        candidate = result(wait=100.0, start_type=StartType.WARM,
+                           mem=500.0)
+        c = compare(baseline, candidate, "base", "cand")
+        assert c.wait_reduction_pct == pytest.approx(50.0)
+        assert c.cold_ratio_reduction_pct == pytest.approx(100.0)
+        assert c.memory_reduction_pct == pytest.approx(50.0)
+        assert "cand vs base" in str(c)
+
+    def test_zero_baseline_handled(self):
+        baseline = result(wait=0.0, start_type=StartType.WARM)
+        candidate = result(wait=0.0, start_type=StartType.WARM)
+        c = compare(baseline, candidate)
+        assert c.cold_ratio_reduction_pct == 0.0
+
+    def test_regression_is_negative(self):
+        baseline = result(wait=100.0)
+        worse = result(wait=200.0)
+        c = compare(baseline, worse)
+        assert c.wait_reduction_pct == pytest.approx(-100.0)
+
+
+class TestComparisonTable:
+    def test_renders_all_policies(self):
+        results = {"A": result(wait=200.0), "B": result(wait=100.0)}
+        table = comparison_table(results, baseline="A")
+        assert "A" in table and "B" in table
+        assert "relative to A" in table
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            comparison_table({"A": result()}, baseline="Z")
+
+    def test_order_respected_and_validated(self):
+        results = {"A": result(), "B": result()}
+        table = comparison_table(results, "A", order=["B", "A"])
+        assert table.index("B") < table.rindex("A")
+        with pytest.raises(KeyError):
+            comparison_table(results, "A", order=["C"])
+
+
+class TestBestPolicy:
+    def test_picks_minimum(self):
+        results = {"slow": result(wait=300.0), "fast": result(wait=50.0)}
+        assert best_policy(results) == "fast"
+
+    def test_exclusion(self):
+        results = {"oracle": result(wait=10.0), "real": result(wait=50.0)}
+        assert best_policy(results, exclude=["oracle"]) == "real"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_policy({}, exclude=[])

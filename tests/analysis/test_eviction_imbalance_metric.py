@@ -1,0 +1,66 @@
+"""Tests for quantifying eviction (im)balance — the Observation 2 metric.
+
+These use the public metrics surface to measure how evictions distribute
+across functions under different policies, complementing the unit-level
+balanced-eviction tests in tests/core.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cidre import CIPOnlyPolicy
+from repro.policies.lru import LRUPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.eventlog import EventKind, EventLog
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+
+def contended_workload(n_funcs=6, rounds=30, seed=5):
+    """Several similar functions contending for a too-small cache."""
+    rng = np.random.default_rng(seed)
+    functions = [FunctionSpec(f"f{i}", memory_mb=150.0,
+                              cold_start_ms=600.0)
+                 for i in range(n_funcs)]
+    requests = []
+    for r in range(rounds):
+        at = r * 5_000.0
+        for i in range(n_funcs):
+            if rng.random() < 0.8:
+                requests.append(Request(f"f{i}",
+                                        at + float(rng.uniform(0, 500)),
+                                        float(rng.lognormal(5.0, 0.3))))
+            if rng.random() < 0.3:   # occasional concurrency
+                requests.append(Request(f"f{i}",
+                                        at + float(rng.uniform(0, 500)),
+                                        float(rng.lognormal(5.0, 0.3))))
+    return functions, requests
+
+
+def eviction_counts_by_func(policy):
+    functions, requests = contended_workload()
+    log = EventLog()
+    orch = Orchestrator(functions, policy,
+                        SimulationConfig(capacity_gb=600.0 / 1024.0),
+                        event_log=log)
+    orch.run(requests)
+    counts = {}
+    for event in log.of_kind(EventKind.EVICTION):
+        counts[event.func] = counts.get(event.func, 0) + 1
+    return counts
+
+
+class TestEvictionDistribution:
+    def test_evictions_happen_under_contention(self):
+        counts = eviction_counts_by_func(LRUPolicy())
+        assert sum(counts.values()) > 0
+
+    def test_cip_spreads_evictions(self):
+        """With symmetric functions, CIP's evictions cover (nearly) every
+        function rather than concentrating on a couple of victims."""
+        counts = eviction_counts_by_func(CIPOnlyPolicy())
+        assert len(counts) >= 5   # almost all six functions touched
+        values = np.array(sorted(counts.values()))
+        # No single function absorbs the majority of evictions.
+        assert values[-1] / values.sum() < 0.5

@@ -1,0 +1,122 @@
+"""Tests for the opportunity-space analysis and the §2.4 what-ifs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.opportunity import opportunity_space, opportunity_sweep
+from repro.analysis.tables import render_cdf_series, render_table
+from repro.analysis.whatif import (eviction_study, queue_length_study,
+                                   tradeoff_analysis)
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+from repro.traces.azure import azure_trace
+from repro.traces.schema import Trace
+
+
+@pytest.fixture
+def tiny_trace():
+    functions = [FunctionSpec("f", memory_mb=100, cold_start_ms=1_000)]
+    # Request at t=0 completes at 500; window of the request at t=100 is
+    # [100, 1100]: one opportunity. The request at t=5000 sees none.
+    requests = [
+        Request("f", 0.0, 500.0),
+        Request("f", 100.0, 500.0),
+        Request("f", 5_000.0, 500.0),
+    ]
+    return Trace("tiny", functions, requests)
+
+
+class TestOpportunitySpace:
+    def test_counts_by_hand(self, tiny_trace):
+        result = opportunity_space(tiny_trace)
+        by_arrival = {tiny_trace.requests[i].arrival_ms: result.counts[i]
+                      for i in range(3)}
+        # t=0: window [0,1000]; completions 500 (own, excluded), 600 -> 1.
+        assert by_arrival[0.0] == 1
+        # t=100: window [100,1100]; completions 500, 600 (own) -> 1.
+        assert by_arrival[100.0] == 1
+        assert by_arrival[5_000.0] == 0
+
+    def test_smaller_cold_shrinks_window(self, tiny_trace):
+        full = opportunity_space(tiny_trace, cold_factor=1.0)
+        tiny = opportunity_space(tiny_trace, cold_factor=0.25)
+        assert tiny.counts.sum() <= full.counts.sum()
+        # With a 250 ms window the t=0 request no longer sees the 500 ms
+        # completion... it does ([0,250] excludes 500) -> 0.
+        assert tiny.counts[0] == 0
+
+    def test_exec_scaling_shifts_uniformly(self, tiny_trace):
+        """Fig. 10's observation: scaling execution time does not change
+        the distribution much (completions shift together)."""
+        base = opportunity_space(tiny_trace, exec_factor=1.0)
+        scaled = opportunity_space(tiny_trace, exec_factor=1.5)
+        assert abs(int(base.counts.sum()) - int(scaled.counts.sum())) <= 1
+
+    def test_sweep_shapes(self, tiny_trace):
+        sweep = opportunity_sweep(tiny_trace)
+        assert len(sweep["cold"]) == 4
+        assert len(sweep["exec"]) == 3
+        sums = [r.counts.sum() for r in sweep["cold"]]
+        assert sums == sorted(sums, reverse=True)  # shrinking windows
+
+    def test_result_helpers(self, tiny_trace):
+        result = opportunity_space(tiny_trace)
+        assert 0.0 <= result.cdf_at(0) <= 1.0
+        assert result.fraction_with_at_least(1) == pytest.approx(2 / 3)
+        assert result.percentile(100) == 1
+
+    def test_invalid_factors(self, tiny_trace):
+        with pytest.raises(ValueError):
+            opportunity_space(tiny_trace, cold_factor=0.0)
+
+
+@pytest.fixture(scope="module")
+def small_azure():
+    return azure_trace(seed=11, total_requests=4_000, n_functions=40)
+
+
+class TestWhatIfs:
+    def test_tradeoff_analysis(self, small_azure):
+        result = tradeoff_analysis(small_azure,
+                                   SimulationConfig(capacity_gb=4.0))
+        assert len(result.queuing_ms) > 0
+        assert len(result.queuing_ms) == len(result.cold_ms)
+        assert 0.0 <= result.fraction_queue_wins() <= 1.0
+
+    def test_queue_length_study_runs_all_lengths(self, small_azure):
+        results = queue_length_study(small_azure, lengths=(0, 1),
+                                     config=SimulationConfig(
+                                         capacity_gb=4.0))
+        assert [r.queue_length for r in results] == [0, 1]
+        assert results[0].delayed_ratio == 0.0   # vanilla: no queueing
+        assert results[1].delayed_ratio > 0.0
+
+    def test_eviction_study_returns_both(self, small_azure):
+        results = eviction_study(small_azure,
+                                 SimulationConfig(capacity_gb=4.0))
+        assert set(results) == {"FaasCache", "FaasCache-C"}
+        for res in results.values():
+            assert res.total == small_azure.num_requests
+
+
+class TestTables:
+    def test_render_table_aligns(self):
+        out = render_table(["name", "value"],
+                           [["x", 1.5], ["longer", 10_000.0]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1   # all rows equal width
+
+    def test_render_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_render_cdf_series(self):
+        out = render_cdf_series({"a": [1.0, 2.0, 3.0], "b": []},
+                                quantiles=(50, 90))
+        assert "p50" in out and "p90" in out
+        assert "a" in out and "b" in out

@@ -1,0 +1,67 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plot import MARKERS, ascii_cdf, ascii_series
+
+
+class TestAsciiCdf:
+    def test_renders_all_series(self):
+        out = ascii_cdf({"fast": [1.0, 2.0, 3.0],
+                         "slow": [10.0, 20.0, 30.0]}, title="t")
+        assert out.startswith("t")
+        assert "o=fast" in out and "x=slow" in out
+        assert "1.00 |" in out and "0.00 |" in out
+
+    def test_dimensions(self):
+        out = ascii_cdf({"a": range(1, 100)}, width=40, height=8)
+        lines = out.splitlines()
+        # 8 plot rows + axis + labels + legend.
+        plot_rows = [ln for ln in lines if "|" in ln]
+        assert len(plot_rows) == 8
+        assert all(len(ln) <= 6 + 40 for ln in plot_rows)
+
+    def test_log_x(self):
+        out = ascii_cdf({"r": [0.01, 0.1, 1.0, 10.0, 100.0]}, log_x=True)
+        assert "o=r" in out
+
+    def test_empty(self):
+        assert ascii_cdf({}) == "(no data)"
+        assert ascii_cdf({"a": []}) == "(no data)"
+
+    def test_constant_samples(self):
+        out = ascii_cdf({"c": [5.0] * 10})
+        assert "o=c" in out
+
+    def test_monotone_marker_columns(self):
+        """The plotted CDF never decreases left to right."""
+        rng = np.random.default_rng(1)
+        out = ascii_cdf({"a": rng.exponential(10, 200)}, width=30,
+                        height=10)
+        rows = [ln.split("|", 1)[1] for ln in out.splitlines()
+                if "|" in ln]
+        heights = []
+        for col in range(30):
+            marked = [i for i, row in enumerate(rows)
+                      if row[col] == "o"]
+            if marked:
+                heights.append(min(marked))   # topmost marker
+        assert heights == sorted(heights, reverse=True)
+
+
+class TestAsciiSeries:
+    def test_renders_points(self):
+        out = ascii_series({"p": [(1.0, 2.0), (2.0, 4.0)]}, title="s")
+        assert out.startswith("s")
+        assert "o=p" in out
+
+    def test_multiple_series_markers(self):
+        rows = {f"s{i}": [(0.0, float(i)), (1.0, float(i))]
+                for i in range(3)}
+        out = ascii_series(rows)
+        for i in range(3):
+            assert f"{MARKERS[i]}=s{i}" in out
+
+    def test_empty(self):
+        assert ascii_series({}) == "(no data)"

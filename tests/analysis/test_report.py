@@ -1,0 +1,53 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import experiment_report
+from repro.experiments.runner import run_grid
+from repro.experiments.suites import select
+from repro.sim.config import SimulationConfig
+from repro.traces.azure import azure_trace
+
+
+@pytest.fixture(scope="module")
+def results():
+    trace = azure_trace(seed=13, total_requests=1_500, n_functions=15)
+    return run_grid(trace, select(["FaasCache", "CIDRE", "Offline"]),
+                    [SimulationConfig(capacity_gb=2.0),
+                     SimulationConfig(capacity_gb=4.0)])
+
+
+class TestReport:
+    def test_sections_per_group(self, results):
+        report = experiment_report(results)
+        assert report.count("## ") == 2   # two capacities
+        assert "@ 2 GB" in report and "@ 4 GB" in report
+
+    def test_contains_policies_and_callouts(self, results):
+        report = experiment_report(results, baseline="FaasCache")
+        assert "| CIDRE |" in report
+        assert "vs FaasCache" in report
+        assert "Best online policy" in report
+
+    def test_oracle_excluded_from_best(self, results):
+        report = experiment_report(results, oracle="Offline")
+        for line in report.splitlines():
+            if line.startswith("Best online policy"):
+                assert "Offline" not in line
+
+    def test_markdown_table_shape(self, results):
+        report = experiment_report(results)
+        header_rows = [l for l in report.splitlines()
+                       if l.startswith("| policy |")]
+        assert header_rows
+        separator_rows = [l for l in report.splitlines()
+                          if set(l) <= {"|", "-"} and l.startswith("|")]
+        assert len(separator_rows) == len(header_rows)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            experiment_report([])
+
+    def test_missing_baseline_tolerated(self, results):
+        report = experiment_report(results, baseline="NotThere")
+        assert "## " in report   # still renders the tables

@@ -1,0 +1,63 @@
+"""Further what-if coverage: queue-length result fields and Fig. 7/8
+semantics at the unit scale."""
+
+import pytest
+
+from repro.analysis.whatif import eviction_study, queue_length_study
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+from repro.traces.schema import Trace
+
+
+@pytest.fixture
+def burst_trace():
+    """One function, repeated 4-wide bursts against a 2-container cache."""
+    spec = FunctionSpec("fn", memory_mb=100.0, cold_start_ms=400.0)
+    requests = []
+    for b in range(12):
+        at = b * 10_000.0
+        for i in range(4):
+            requests.append(Request("fn", at + float(i), 300.0))
+    return Trace("burst", [spec], requests)
+
+
+class TestQueueLengthSemantics:
+    def test_ratios_partition(self, burst_trace):
+        results = queue_length_study(
+            burst_trace, lengths=(0, 1, 2),
+            config=SimulationConfig(capacity_gb=200.0 / 1024.0))
+        for row in results:
+            assert row.warm_ratio + row.delayed_ratio + row.cold_ratio \
+                == pytest.approx(1.0)
+
+    def test_longer_queues_absorb_more(self, burst_trace):
+        results = queue_length_study(
+            burst_trace, lengths=(0, 1, 2),
+            config=SimulationConfig(capacity_gb=200.0 / 1024.0))
+        delayed = [r.delayed_ratio for r in results]
+        assert delayed[0] == 0.0
+        assert delayed[1] <= delayed[2]
+        cold = [r.cold_ratio for r in results]
+        assert cold[2] <= cold[1] <= cold[0]
+
+    def test_custom_lengths(self, burst_trace):
+        results = queue_length_study(
+            burst_trace, lengths=(3,),
+            config=SimulationConfig(capacity_gb=200.0 / 1024.0))
+        assert len(results) == 1
+        assert results[0].queue_length == 3
+
+
+class TestEvictionStudySemantics:
+    def test_same_workload_same_totals(self, burst_trace):
+        results = eviction_study(
+            burst_trace, SimulationConfig(capacity_gb=200.0 / 1024.0))
+        totals = {res.total for res in results.values()}
+        assert totals == {burst_trace.num_requests}
+
+    def test_neither_policy_queues(self, burst_trace):
+        results = eviction_study(
+            burst_trace, SimulationConfig(capacity_gb=200.0 / 1024.0))
+        for res in results.values():
+            assert res.delayed_start_ratio == 0.0

@@ -1,0 +1,134 @@
+"""End-to-end behavioural tests for the assembled CIDRE policy.
+
+These exercise the paper's headline claims on small controlled workloads:
+speculative scaling converts cold starts into delayed warm starts, CSS
+suppresses wasteful provisioning, and CIP balances evictions across
+functions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cidre import (CIDREBSSPolicy, CIDREPolicy, CIPOnlyPolicy)
+from repro.policies.faascache import FaasCachePolicy
+from repro.policies.lru import LRUPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import simulate
+from repro.sim.request import Request, StartType
+
+GB = 1024.0
+
+
+def burst_workload(n_bursts=30, burst=12, gap_ms=20_000.0, exec_ms=250.0,
+                   func="fn"):
+    """Repeated concurrent bursts of one function."""
+    reqs = []
+    for b in range(n_bursts):
+        at = b * gap_ms
+        for i in range(burst):
+            reqs.append(Request(func, at + i * 5.0, exec_ms))
+    return reqs
+
+
+@pytest.fixture
+def fn():
+    return FunctionSpec("fn", memory_mb=256, cold_start_ms=800)
+
+
+class TestSpeculativeScalingClaims:
+    def test_bursts_become_delayed_warm_starts(self, fn):
+        """Observation 1: under concurrency, many requests are served
+        faster by waiting for busy containers than by cold starting."""
+        cfg = SimulationConfig(capacity_gb=1.0)   # fits 4 containers
+        faascache = simulate([fn], burst_workload(), FaasCachePolicy(),
+                             cfg)
+        cidre = simulate([fn], burst_workload(), CIDREPolicy(), cfg)
+        assert cidre.delayed_start_ratio > 0.2
+        assert cidre.cold_start_ratio < faascache.cold_start_ratio / 2
+        assert cidre.avg_wait_ms < faascache.avg_wait_ms
+
+    def test_bss_bounds_every_wait_by_cold_start(self, fn):
+        cfg = SimulationConfig(capacity_gb=10.0)  # ample memory
+        result = simulate([fn], burst_workload(), CIDREBSSPolicy(), cfg)
+        assert float(result.waits_ms().max()) <= fn.cold_start_ms + 1e-6
+
+    def test_css_suppresses_provisioning_under_pressure(self, fn):
+        """The §3.2 CSS story: a lightly used function whose speculative
+        spares keep getting evicted (by a heavy co-tenant) before reuse.
+        BSS re-provisions a doomed spare on every overlap; CSS learns from
+        ``T_i`` that those cold starts are wasted and stops issuing them.
+        """
+        filler = FunctionSpec("filler", memory_mb=256, cold_start_ms=400)
+
+        def workload():
+            reqs = []
+            t = 0.0
+            while t < 400_000.0:       # steady ~6-concurrent co-tenant
+                t += 50.0
+                reqs.append(Request("filler", t, 300.0))
+            for k in range(20):        # overlapping pair every 20 s
+                at = 1_000.0 + k * 20_000.0
+                reqs.append(Request("fn", at, 200.0))
+                reqs.append(Request("fn", at + 10.0, 200.0))
+            return reqs
+
+        cfg = SimulationConfig(capacity_gb=2.0)   # 8 containers
+        bss = simulate([fn, filler], workload(), CIDREBSSPolicy(), cfg)
+        css = simulate([fn, filler], workload(), CIDREPolicy(), cfg)
+        assert css.cold_starts_begun < bss.cold_starts_begun / 2
+        assert css.wasted_cold_starts < bss.wasted_cold_starts
+        # Suppressing the thrash also helps the function's own waits.
+        fn_bss = bss.per_function()["fn"]
+        fn_css = css.per_function()["fn"]
+        assert fn_css.avg_wait_ms < fn_bss.avg_wait_ms
+
+
+class TestCIPClaims:
+    def test_balanced_eviction_protects_sparse_functions(self):
+        """Observation 2: a function hoarding many containers should lose
+        them before a single-container function loses its only one.
+
+        One hot, bursty function and one steady function contend for a
+        cache that cannot hold both entirely. LRU evicts whatever is
+        oldest (often the steady function's only container); CIP's |F|
+        denominator sacrifices the hoard instead.
+        """
+        hot = FunctionSpec("hot", memory_mb=200, cold_start_ms=600)
+        steady = FunctionSpec("steady", memory_mb=200, cold_start_ms=600)
+        reqs = []
+        rng = np.random.default_rng(0)
+        for b in range(40):
+            at = b * 10_000.0
+            for i in range(int(rng.integers(6, 10))):
+                reqs.append(Request("hot", at + i * 3.0, 300.0))
+            reqs.append(Request("steady", at + 5_000.0, 100.0))
+        cfg = SimulationConfig(capacity_gb=1.6)   # ~8 containers
+        lru = simulate([hot, steady],
+                       [Request(r.func, r.arrival_ms, r.exec_ms)
+                        for r in reqs], LRUPolicy(), cfg)
+        cip = simulate([hot, steady],
+                       [Request(r.func, r.arrival_ms, r.exec_ms)
+                        for r in reqs], CIPOnlyPolicy(), cfg)
+        steady_lru = lru.per_function()["steady"]
+        steady_cip = cip.per_function()["steady"]
+        assert steady_cip.warm_start_ratio >= steady_lru.warm_start_ratio
+
+    def test_frequency_decay_ages_stale_functions(self):
+        """Eq. 4: a once-hot function that goes quiet loses priority and
+        is evicted in favour of currently active functions."""
+        old_hot = FunctionSpec("old", memory_mb=300, cold_start_ms=600)
+        fresh = FunctionSpec("fresh", memory_mb=300, cold_start_ms=600)
+        reqs = [Request("old", float(i) * 50.0, 25.0) for i in range(100)]
+        # 20 minutes of silence, then fresh traffic forces evictions.
+        base = 20 * 60_000.0
+        reqs += [Request("fresh", base + float(i) * 500.0, 100.0)
+                 for i in range(40)]
+        cfg = SimulationConfig(capacity_gb=0.59)  # 2 containers max
+        result = simulate([old_hot, fresh],
+                          [Request(r.func, r.arrival_ms, r.exec_ms)
+                           for r in reqs], CIPOnlyPolicy(), cfg)
+        fresh_result = result.per_function()["fresh"]
+        # After the first cold start, fresh traffic stays mostly warm
+        # because the stale hot function's containers aged out.
+        assert fresh_result.warm_start_ratio > 0.8

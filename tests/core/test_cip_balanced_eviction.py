@@ -1,0 +1,86 @@
+"""Targeted tests for CIP's balanced-eviction behaviour (Observation 2).
+
+The paper's critique of GDSF: a victim function's containers cluster at
+the low-priority end, so evictions wipe out whole functions. CIP's
+``|F(c)|`` denominator *raises* a function's remaining containers'
+priorities as its pool shrinks, interleaving victims across functions.
+"""
+
+import pytest
+
+from repro.core.cidre import CIPOnlyPolicy
+from repro.policies.faascache import FaasCachePolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.container import Container
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+
+def build(policy, n_funcs=2, containers_each=4, capacity_mb=100_000.0):
+    functions = [FunctionSpec(f"f{i}", memory_mb=100.0,
+                              cold_start_ms=500.0)
+                 for i in range(n_funcs)]
+    orch = Orchestrator(functions, policy,
+                        SimulationConfig(capacity_gb=capacity_mb / 1024.0))
+    worker = orch.workers()[0]
+    pools = {}
+    for i, f in enumerate(functions):
+        pools[f.name] = []
+        for j in range(containers_each):
+            c = Container(f, 0.0)
+            worker.add(c)
+            c.mark_ready(float(j))
+            c.last_used_ms = float(j)
+            pools[f.name].append(c)
+    return orch, worker, pools
+
+
+def feed_arrivals(policy, worker, func, n, start=0.0):
+    for i in range(n):
+        policy.on_request_arrival(Request(func, start + i * 10.0, 1.0),
+                                  worker, start + i * 10.0)
+
+
+class TestBalancedEviction:
+    def test_priority_rises_as_pool_shrinks(self):
+        policy = CIPOnlyPolicy()
+        orch, worker, pools = build(policy)
+        feed_arrivals(policy, worker, "f0", 20)
+        victim_pool = pools["f0"]
+        before = policy.priority(victim_pool[0], 1_000.0)
+        # Shrink the pool: evict two of f0's containers.
+        for c in victim_pool[2:]:
+            orch.evict(c)
+        after = policy.priority(victim_pool[0], 1_000.0)
+        assert after > before   # remaining containers became safer
+
+    def test_eviction_interleaves_across_functions(self):
+        """Evicting 4 of 8 containers takes two from each function under
+        CIP, not all four from one function."""
+        policy = CIPOnlyPolicy()
+        orch, worker, pools = build(policy)
+        for f in ("f0", "f1"):
+            feed_arrivals(policy, worker, f, 10)
+        # Ask for 400 MB back (4 containers) one container at a time, the
+        # way successive provisions would.
+        for _ in range(4):
+            assert policy.make_room(worker, worker.free_mb + 100.0,
+                                    2_000.0)
+        survivors = {f: len(worker.of_func(f)) for f in ("f0", "f1")}
+        assert survivors["f0"] == 2
+        assert survivors["f1"] == 2
+
+    def test_gdsf_wipes_out_one_function(self):
+        """Contrast: GDSF with distinct function priorities evicts all of
+        the lower-priority function first (the imbalance CIP fixes)."""
+        policy = FaasCachePolicy()
+        orch, worker, pools = build(policy)
+        policy.freq["f0"] = 1     # rarely invoked
+        policy.freq["f1"] = 50    # hot
+        for _ in range(4):
+            assert policy.make_room(worker, worker.free_mb + 100.0,
+                                    2_000.0)
+        survivors = {f: len(worker.of_func(f)) for f in ("f0", "f1")}
+        assert survivors["f0"] == 0   # bulk-evicted
+        assert survivors["f1"] == 4

@@ -1,0 +1,71 @@
+"""Tests for the CSS ablation knobs (live T_d signal, backlog coverage)."""
+
+import pytest
+
+from repro.core.cidre import CIDREPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator, simulate
+from repro.sim.request import Request
+
+
+def spec():
+    return FunctionSpec("fn", memory_mb=100.0, cold_start_ms=500.0)
+
+
+def stranding_workload():
+    """A lull (trains T_i large -> disables BSS) followed by a burst."""
+    reqs = [Request("fn", float(i) * 5_000.0, 100.0) for i in range(6)]
+    burst_at = 60_000.0
+    reqs += [Request("fn", burst_at + float(i) * 3.0, 100.0)
+             for i in range(30)]
+    return reqs
+
+
+class TestKnobs:
+    def test_defaults_enabled(self):
+        policy = CIDREPolicy()
+        assert policy.live_delay_signal
+        assert policy.cover_backlog
+
+    def test_knobs_forwarded(self):
+        policy = CIDREPolicy(live_delay_signal=False, cover_backlog=False)
+        assert not policy.live_delay_signal
+        assert not policy.cover_backlog
+
+    def test_live_signal_folds_waiter_age(self):
+        policy = CIDREPolicy()
+        orch = Orchestrator([spec()], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        # Simulate a recorded small delay plus an old queued waiter.
+        policy._window(policy._delay_window, "fn").add(0.0, 50.0)
+        # No waiters: T_d is the recorded sample.
+        assert policy.last_delay_ms("fn", 100.0) == 50.0
+
+    def test_live_signal_disabled_uses_recorded_only(self):
+        policy = CIDREPolicy(live_delay_signal=False)
+        Orchestrator([spec()], policy, SimulationConfig(capacity_gb=1.0))
+        policy._window(policy._delay_window, "fn").add(0.0, 50.0)
+        assert policy.last_delay_ms("fn", 100.0) == 50.0
+
+    def test_literal_variant_strands_longer(self):
+        """Without the live signals, the burst after a lull waits longer
+        at the tail — the motivation for the reproduction's additions."""
+        cfg = SimulationConfig(capacity_gb=1.0)
+        full = simulate([spec()], stranding_workload(), CIDREPolicy(),
+                        cfg)
+        literal = simulate([spec()], stranding_workload(),
+                           CIDREPolicy(live_delay_signal=False,
+                                       cover_backlog=False), cfg)
+        assert full.wait_percentile(99) \
+            <= literal.wait_percentile(99) + 1e-9
+
+    def test_all_variants_complete_everything(self):
+        cfg = SimulationConfig(capacity_gb=1.0)
+        for kwargs in (dict(), dict(live_delay_signal=False),
+                       dict(cover_backlog=False),
+                       dict(live_delay_signal=False,
+                            cover_backlog=False)):
+            result = simulate([spec()], stranding_workload(),
+                              CIDREPolicy(**kwargs), cfg)
+            assert result.total == 36

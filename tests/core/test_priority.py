@@ -1,0 +1,122 @@
+"""Unit and property tests for the CIP priority model (Eq. 3/4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cidre import CIPOnlyPolicy
+from repro.core.window import MINUTES_MS
+from repro.sim.container import Container
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+from repro.sim.worker import Worker
+
+
+def setup():
+    policy = CIPOnlyPolicy()
+    worker = Worker(0, capacity_mb=100_000)
+    return policy, worker
+
+
+def warm(worker, spec, now=0.0):
+    c = Container(spec, now)
+    worker.add(c)
+    c.mark_ready(now)
+    return c
+
+
+def arrivals(policy, worker, func, count, start=0.0, spacing=1.0):
+    for i in range(count):
+        policy.on_request_arrival(Request(func, start + i * spacing, 1.0),
+                                  worker, start + i * spacing)
+
+
+class TestFreq:
+    def test_rate_per_minute(self):
+        policy, worker = setup()
+        arrivals(policy, worker, "fn", 60, start=0.0, spacing=1000.0)
+        # 60 invocations over ~59 s of history -> about 61/min.
+        rate = policy.freq_per_minute("fn", 59_000.0)
+        assert rate == pytest.approx(60 / (59_000.0 / MINUTES_MS))
+
+    def test_rate_decays_when_idle(self):
+        policy, worker = setup()
+        arrivals(policy, worker, "fn", 10, start=0.0, spacing=100.0)
+        early = policy.freq_per_minute("fn", 1_000.0)
+        late = policy.freq_per_minute("fn", 10 * MINUTES_MS)
+        assert late < early  # Eq. 4 ages stale functions
+
+    def test_unknown_function_rate_zero(self):
+        policy, _ = setup()
+        assert policy.freq_per_minute("ghost", 100.0) == 0.0
+
+
+class TestPriority:
+    def test_k_denominator_balances(self):
+        policy, worker = setup()
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=500)
+        c1 = warm(worker, spec)
+        arrivals(policy, worker, "fn", 30, spacing=100.0)
+        single = policy.priority(c1, 4_000.0)
+        warm(worker, spec)
+        warm(worker, spec)   # |F| = 3 now
+        triple = policy.priority(c1, 4_000.0)
+        assert triple == pytest.approx(single / 3)
+
+    def test_clock_touch_uses_pre_update_priority(self):
+        policy, worker = setup()
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=500)
+        c = warm(worker, spec)
+        arrivals(policy, worker, "fn", 10, spacing=100.0)
+        before = policy.priority(c, 1_000.0)
+        policy.on_warm_start(c, Request("fn", 1_000.0, 1.0), 1_000.0)
+        assert c.clock == pytest.approx(before)
+
+    def test_new_container_inherits_eviction_clock(self):
+        policy, worker = setup()
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=500)
+        victim = warm(worker, spec)
+        arrivals(policy, worker, "fn", 5, spacing=10.0)
+        policy.on_eviction([victim], 100.0)
+        assert policy.cip_clock > 0.0
+        fresh = Container(spec, 100.0)
+        worker.add(fresh)
+        policy.on_provision_started(fresh, 100.0)
+        assert fresh.clock == policy.cip_clock
+
+    def test_batch_matches_scalar(self):
+        policy, worker = setup()
+        specs = [FunctionSpec(f"f{i}", 100.0 + i, 100.0 * (i + 1))
+                 for i in range(4)]
+        containers = []
+        for i, spec in enumerate(specs):
+            arrivals(policy, worker, spec.name, i + 1, spacing=50.0)
+            containers.append(warm(worker, spec))
+            containers.append(warm(worker, spec))
+        now = 10_000.0
+        assert policy.priorities(containers, now) == pytest.approx(
+            [policy.priority(c, now) for c in containers])
+
+
+class TestClockMonotonicity:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=1.0, max_value=4096.0),     # memory
+        st.floats(min_value=1.0, max_value=10_000.0),   # cold cost
+        st.integers(min_value=1, max_value=50)),        # arrivals
+        min_size=1, max_size=20))
+    def test_cip_clock_never_decreases(self, rows):
+        """The §3.3 logical-clock guarantee: the running eviction clock is
+        monotone under any sequence of arrivals and evictions."""
+        policy, worker = setup()
+        last_clock = 0.0
+        now = 0.0
+        for i, (mem, cold, n) in enumerate(rows):
+            spec = FunctionSpec(f"f{i}", memory_mb=mem, cold_start_ms=cold)
+            container = warm(worker, spec, now)
+            policy.on_provision_started(container, now)
+            assert container.clock == policy.cip_clock
+            arrivals(policy, worker, spec.name, n, start=now, spacing=10.0)
+            now += 10.0 * n + 1.0
+            policy.on_eviction([container], now)
+            worker.remove(container)
+            assert policy.cip_clock >= last_clock
+            last_clock = policy.cip_clock

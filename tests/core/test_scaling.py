@@ -1,0 +1,169 @@
+"""Unit tests for BSS/CSS scaling logic (Algorithm 1)."""
+
+import pytest
+
+from repro.core.cidre import CIDREBSSPolicy, CIDREPolicy
+from repro.policies.base import ScalingAction
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator, simulate
+from repro.sim.request import Request, StartType
+
+
+def spec(name="fn", mem=100.0, cold=500.0):
+    return FunctionSpec(name, memory_mb=mem, cold_start_ms=cold)
+
+
+def orch(policy, mb=100_000.0):
+    return Orchestrator([spec()], policy,
+                        SimulationConfig(capacity_gb=mb / 1024.0))
+
+
+class TestBSS:
+    def test_always_speculates(self):
+        policy = CIDREBSSPolicy()
+        o = orch(policy)
+        decision = policy.scale(Request("fn", 0.0, 100.0),
+                                o.workers()[0], 0.0)
+        assert decision.action is ScalingAction.SPECULATE
+
+
+class TestCSSGate:
+    def test_starts_with_bss_enabled(self):
+        policy = CIDREPolicy()
+        orch(policy)
+        assert policy.bss_enabled("fn")
+
+    def test_disables_after_wasted_cold_start(self):
+        """A speculative container that idles longer than one execution
+        flips the function to the delayed-warm-start-only path."""
+        policy = CIDREPolicy()
+        o = orch(policy)
+        worker = o.workers()[0]
+        # Feed history: executions of 100 ms.
+        for t in range(5):
+            req = Request("fn", float(t), 100.0)
+            req.start_ms, req.end_ms = float(t), float(t) + 100.0
+            policy.on_request_complete(None, req, float(t) + 100.0)
+        # A container finished provisioning at t=1000 and sat unused.
+        from repro.sim.container import Container
+        c = Container(spec(), 500.0)
+        worker.add(c)
+        c.mark_ready(1000.0)
+        policy.on_container_ready(c, 1000.0)
+        # At t=2000, T_i = 1000 > T_e = 100 -> disable. A busy container
+        # must exist for QUEUE to be viable; make one.
+        busy = Container(spec(), 1500.0)
+        worker.add(busy)
+        busy.mark_ready(1500.0)
+        r = Request("fn", 1990.0, 100.0)
+        r.start_ms = 1990.0
+        busy.start_request(r, 1990.0)
+        decision = policy.scale(Request("fn", 2000.0, 100.0), worker,
+                                2000.0)
+        assert decision.action is ScalingAction.QUEUE
+        assert not policy.bss_enabled("fn")
+
+    def test_reenables_when_delay_exceeds_cold(self):
+        policy = CIDREPolicy()
+        o = orch(policy)
+        worker = o.workers()[0]
+        policy._bss_enabled["fn"] = False
+        # History: cold starts take 500 ms; the last delayed start waited
+        # 800 ms -> T_d > T_p -> flip back to speculative scaling.
+        policy._window(policy._cold_window, "fn").add(0.0, 500.0)
+        policy._window(policy._delay_window, "fn").add(0.0, 800.0)
+        decision = policy.scale(Request("fn", 10.0, 100.0), worker, 10.0)
+        assert decision.action is ScalingAction.SPECULATE
+        assert policy.bss_enabled("fn")
+
+    def test_stays_disabled_when_delay_cheap(self):
+        policy = CIDREPolicy()
+        o = orch(policy)
+        worker = o.workers()[0]
+        policy._bss_enabled["fn"] = False
+        policy._window(policy._cold_window, "fn").add(0.0, 500.0)
+        policy._window(policy._delay_window, "fn").add(0.0, 100.0)
+        decision = policy.scale(Request("fn", 10.0, 100.0), worker, 10.0)
+        assert decision.action is ScalingAction.QUEUE
+        assert not policy.bss_enabled("fn")
+
+    def test_no_history_speculates(self):
+        policy = CIDREPolicy()
+        o = orch(policy)
+        decision = policy.scale(Request("fn", 0.0, 100.0),
+                                o.workers()[0], 0.0)
+        assert decision.action is ScalingAction.SPECULATE
+
+
+class TestCSSStatistics:
+    def test_exec_window_records_completions(self):
+        policy = CIDREPolicy()
+        orch(policy)
+        req = Request("fn", 0.0, 250.0)
+        req.start_ms, req.end_ms = 0.0, 250.0
+        policy.on_request_complete(None, req, 250.0)
+        assert policy.estimated_exec_ms("fn", 250.0) == 250.0
+
+    def test_cold_window_records_provision_latency(self):
+        from repro.sim.container import Container
+        policy = CIDREPolicy()
+        o = orch(policy)
+        c = Container(spec(), 100.0)
+        o.workers()[0].add(c)
+        c.mark_ready(700.0)   # provisioning took 600 ms
+        policy.on_container_ready(c, 700.0)
+        assert policy.estimated_cold_ms("fn", 700.0) == 600.0
+
+    def test_t_i_live_until_reuse(self):
+        from repro.sim.container import Container
+        policy = CIDREPolicy()
+        o = orch(policy)
+        c = Container(spec(), 0.0)
+        o.workers()[0].add(c)
+        c.mark_ready(100.0)
+        policy.on_container_ready(c, 100.0)
+        assert policy.last_idle_ms("fn", 400.0) == 300.0  # live, grows
+        policy.on_warm_start(c, Request("fn", 600.0, 10.0), 600.0)
+        assert policy.last_idle_ms("fn", 900.0) == 500.0  # frozen at reuse
+
+    def test_t_i_finalized_on_unused_eviction(self):
+        from repro.sim.container import Container
+        policy = CIDREPolicy()
+        o = orch(policy)
+        c = Container(spec(), 0.0)
+        o.workers()[0].add(c)
+        c.mark_ready(100.0)
+        policy.on_container_ready(c, 100.0)
+        policy.on_eviction([c], 1_100.0)
+        assert policy.last_idle_ms("fn", 1_200.0) == 1_000.0
+
+    def test_estimator_configurable(self):
+        policy = CIDREPolicy(exec_estimator="p75")
+        orch(policy)
+        for i, v in enumerate((100.0, 200.0, 300.0, 400.0)):
+            req = Request("fn", float(i), v)
+            req.start_ms, req.end_ms = float(i), float(i) + v
+            policy.on_request_complete(None, req, float(i) + v)
+        assert policy.estimated_exec_ms("fn", 500.0) == pytest.approx(325.0)
+
+
+class TestEndToEnd:
+    def test_css_avoids_wasteful_cold_starts(self):
+        """Steady sequential traffic with occasional overlap: CSS should
+        issue fewer cold starts than BSS on the same workload."""
+        def workload():
+            reqs = []
+            t = 0.0
+            for i in range(300):
+                t += 120.0
+                reqs.append(Request("fn", t, 100.0))
+                if i % 10 == 0:   # mild overlap
+                    reqs.append(Request("fn", t + 5.0, 100.0))
+            return reqs
+
+        cfg = SimulationConfig(capacity_gb=1.0)
+        bss = simulate([spec()], workload(), CIDREBSSPolicy(), cfg)
+        css = simulate([spec()], workload(), CIDREPolicy(), cfg)
+        assert css.cold_starts_begun <= bss.cold_starts_begun
+        assert css.wasted_cold_starts <= bss.wasted_cold_starts

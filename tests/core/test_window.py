@@ -1,0 +1,105 @@
+"""Unit and property tests for the CSS sliding window."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.window import SlidingWindow
+
+
+class TestBasics:
+    def test_empty(self):
+        w = SlidingWindow(1000.0)
+        assert w.is_empty(0.0)
+        assert w.median(0.0) is None
+        assert w.mean(0.0) is None
+        assert w.last(0.0) is None
+
+    def test_add_and_query(self):
+        w = SlidingWindow(1000.0)
+        w.add(0.0, 10.0)
+        w.add(10.0, 30.0)
+        w.add(20.0, 20.0)
+        assert w.median(20.0) == 20.0
+        assert w.mean(20.0) == pytest.approx(20.0)
+        assert w.last(20.0) == 20.0
+        assert len(w) == 3
+
+    def test_horizon_prunes(self):
+        w = SlidingWindow(100.0)
+        w.add(0.0, 1.0)
+        w.add(150.0, 2.0)
+        w.add(200.0, 3.0)
+        assert w.values(200.0) == [2.0, 3.0]  # the t=0 sample expired
+        assert w.values(400.0) == []
+
+    def test_unbounded_horizon_keeps_all(self):
+        w = SlidingWindow(None)
+        for t in range(100):
+            w.add(float(t) * 1e6, float(t))
+        assert len(w.values(1e12)) == 100
+
+    def test_max_samples_cap(self):
+        w = SlidingWindow(None, max_samples=10)
+        for t in range(100):
+            w.add(float(t), float(t))
+        values = w.values(100.0)
+        assert len(values) == 10
+        assert values == [float(t) for t in range(90, 100)]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0.0)
+        with pytest.raises(ValueError):
+            SlidingWindow(10.0, max_samples=0)
+
+
+class TestPercentiles:
+    def test_single_sample(self):
+        w = SlidingWindow(None)
+        w.add(0.0, 42.0)
+        for q in (0, 25, 50, 75, 100):
+            assert w.percentile(0.0, q) == 42.0
+
+    def test_interpolation(self):
+        w = SlidingWindow(None)
+        for v in (10.0, 20.0):
+            w.add(0.0, v)
+        assert w.percentile(0.0, 50) == pytest.approx(15.0)
+        assert w.percentile(0.0, 0) == 10.0
+        assert w.percentile(0.0, 100) == 20.0
+
+    def test_out_of_range_q(self):
+        w = SlidingWindow(None)
+        w.add(0.0, 1.0)
+        with pytest.raises(ValueError):
+            w.percentile(0.0, 101)
+
+    def test_estimators(self):
+        w = SlidingWindow(None)
+        for v in (1.0, 2.0, 3.0, 10.0):
+            w.add(0.0, v)
+        assert w.estimate(0.0, "median") == pytest.approx(2.5)
+        assert w.estimate(0.0, "mean") == pytest.approx(4.0)
+        assert w.estimate(0.0, "p25") == pytest.approx(1.75)
+        assert w.estimate(0.0, "p75") == pytest.approx(4.75)
+        with pytest.raises(ValueError):
+            w.estimate(0.0, "mode")
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    def test_median_within_minmax(self, values):
+        w = SlidingWindow(None)
+        for v in values:
+            w.add(0.0, v)
+        median = w.median(0.0)
+        assert min(values) <= median <= max(values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=50))
+    def test_percentiles_monotone_in_q(self, values):
+        w = SlidingWindow(None)
+        for v in values:
+            w.add(0.0, v)
+        qs = [0, 10, 25, 50, 75, 90, 100]
+        results = [w.percentile(0.0, q) for q in qs]
+        assert results == sorted(results)

@@ -1,0 +1,52 @@
+"""Additional sliding-window behaviour under simulated time flow."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.window import MINUTES_MS, SlidingWindow
+
+
+class TestTimeFlow:
+    def test_fifteen_minute_default_matches_paper(self):
+        window = SlidingWindow()
+        assert window.horizon_ms == 15 * MINUTES_MS
+
+    def test_values_age_out_progressively(self):
+        window = SlidingWindow(horizon_ms=10 * MINUTES_MS)
+        for minute in range(20):
+            window.add(minute * MINUTES_MS, float(minute))
+        now = 19 * MINUTES_MS
+        values = window.values(now)
+        # Only samples within [now - 10min, now] remain: minutes 9..19.
+        assert values == [float(m) for m in range(9, 20)]
+
+    def test_estimate_changes_as_window_slides(self):
+        window = SlidingWindow(horizon_ms=5 * MINUTES_MS)
+        window.add(0.0, 1_000.0)          # an early outlier
+        for minute in range(1, 5):
+            window.add(minute * MINUTES_MS, 100.0)
+        early = window.mean(4 * MINUTES_MS)
+        late = window.mean(8 * MINUTES_MS)   # outlier aged out
+        assert late < early
+
+    def test_last_respects_horizon(self):
+        window = SlidingWindow(horizon_ms=1_000.0)
+        window.add(0.0, 42.0)
+        assert window.last(500.0) == 42.0
+        assert window.last(2_000.0) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.0, 1e7, allow_nan=False),
+                              st.floats(0.0, 1e5, allow_nan=False)),
+                    min_size=1, max_size=60),
+           st.floats(1.0, 1e6, allow_nan=False))
+    def test_window_contents_always_within_horizon(self, samples, horizon):
+        window = SlidingWindow(horizon_ms=horizon)
+        samples.sort(key=lambda pair: pair[0])
+        for t, v in samples:
+            window.add(t, v)
+        now = samples[-1][0]
+        kept = window.values(now)
+        expected = [v for t, v in samples if t >= now - horizon]
+        # The deque also caps at max_samples; compare suffixes.
+        assert kept == expected[-len(kept):] if kept else expected == []

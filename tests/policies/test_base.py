@@ -1,0 +1,121 @@
+"""Unit tests for the policy base class and its REPLACE machinery."""
+
+import pytest
+
+from repro.policies.base import (OrchestrationPolicy, ScalingAction,
+                                 ScalingDecision)
+from repro.sim.config import SimulationConfig
+from repro.sim.container import Container
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+
+def spec(name="fn", mem=100.0, cold=500.0):
+    return FunctionSpec(name, memory_mb=mem, cold_start_ms=cold)
+
+
+def bound_policy(capacity_mb=1000.0, functions=None):
+    policy = OrchestrationPolicy()
+    orch = Orchestrator(functions or [spec()], policy,
+                        SimulationConfig(capacity_gb=capacity_mb / 1024.0))
+    return policy, orch.workers()[0]
+
+
+def idle_container(worker, s, now=0.0, last_used=None):
+    c = Container(s, now)
+    worker.add(c)
+    c.mark_ready(now)
+    if last_used is not None:
+        c.last_used_ms = last_used
+    return c
+
+
+class TestScalingDecision:
+    def test_constructors(self):
+        assert ScalingDecision.cold().action is ScalingAction.COLD
+        assert ScalingDecision.queue().action is ScalingAction.QUEUE
+        assert ScalingDecision.queue().target is None
+        assert ScalingDecision.speculate().action is ScalingAction.SPECULATE
+
+    def test_queue_with_target(self):
+        sentinel = object()
+        decision = ScalingDecision.queue(target=sentinel)
+        assert decision.target is sentinel
+
+
+class TestMakeRoom:
+    def test_noop_when_space_available(self):
+        policy, worker = bound_policy()
+        assert policy.make_room(worker, 500.0, 0.0)
+        assert worker.used_mb == 0.0
+
+    def test_evicts_lowest_priority_first(self):
+        functions = [spec("a"), spec("b"), spec("c")]
+        policy, worker = bound_policy(300.0, functions)
+        a = idle_container(worker, functions[0], last_used=10.0)
+        b = idle_container(worker, functions[1], last_used=5.0)  # LRU
+        c = idle_container(worker, functions[2], last_used=20.0)
+        assert policy.make_room(worker, 100.0, 30.0)
+        assert b.worker is None          # evicted
+        assert a.worker is worker and c.worker is worker
+
+    def test_evicts_just_enough(self):
+        functions = [spec("a"), spec("b"), spec("c")]
+        policy, worker = bound_policy(300.0, functions)
+        for i, s in enumerate(functions):
+            idle_container(worker, s, last_used=float(i))
+        assert policy.make_room(worker, 200.0, 30.0)
+        assert len(worker.containers) == 1   # two evicted, one kept
+
+    def test_fails_when_infeasible(self):
+        policy, worker = bound_policy(300.0)
+        busy = idle_container(worker, spec("fn", mem=300.0))
+        req = Request("fn", 0.0, 100.0)
+        req.start_ms = 0.0
+        busy.start_request(req, 0.0)     # busy: not evictable
+        assert not policy.make_room(worker, 200.0, 0.0)
+        assert busy.worker is worker     # nothing evicted
+
+    def test_partial_infeasible_keeps_everything(self):
+        """If even evicting all idles cannot fit, nothing is touched."""
+        functions = [spec("a", mem=100.0), spec("big", mem=900.0)]
+        policy, worker = bound_policy(1000.0, functions)
+        a = idle_container(worker, functions[0])
+        busy = idle_container(worker, functions[1])
+        req = Request("big", 0.0, 1.0)
+        req.start_ms = 0.0
+        busy.start_request(req, 0.0)
+        # Need 200 free; only a's 100 MB is reclaimable.
+        assert not policy.make_room(worker, 200.0, 0.0)
+        assert a.worker is worker
+
+    def test_default_scale_is_cold(self):
+        policy, worker = bound_policy()
+        decision = policy.scale(Request("fn", 0.0, 1.0), worker, 0.0)
+        assert decision.action is ScalingAction.COLD
+
+    def test_batch_priorities_default_delegates(self):
+        functions = [spec("a"), spec("b")]
+        policy, worker = bound_policy(1000.0, functions)
+        containers = [idle_container(worker, s, last_used=float(i))
+                      for i, s in enumerate(functions)]
+        assert policy.priorities(containers, 0.0) \
+            == [policy.priority(c, 0.0) for c in containers]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(capacity_gb=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(workers=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(threads_per_container=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(dispatch="random")
+
+    def test_capacity_split(self):
+        config = SimulationConfig(capacity_gb=10.0, workers=4)
+        assert config.capacity_mb == 10.0 * 1024.0
+        assert config.per_worker_mb == 2.5 * 1024.0

@@ -1,0 +1,86 @@
+"""Unit tests for CodeCrunch's two-phase make_room and accounting."""
+
+import pytest
+
+from repro.policies.codecrunch import CodeCrunchPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.container import Container
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+GB = 1024.0
+
+
+def setup(capacity_mb=1000.0, funcs=("a", "b", "c")):
+    functions = [FunctionSpec(f, memory_mb=300.0, cold_start_ms=600.0)
+                 for f in funcs]
+    policy = CodeCrunchPolicy(compressed_fraction=0.5,
+                              decompress_fraction=0.25)
+    orch = Orchestrator(functions, policy,
+                        SimulationConfig(capacity_gb=capacity_mb / GB))
+    return policy, orch, {f.name: f for f in functions}
+
+
+def idle(orch, spec):
+    worker = orch.workers()[0]
+    c = Container(spec, orch.now)
+    worker.add(c)
+    c.mark_ready(orch.now)
+    return c
+
+
+class TestMakeRoomPhases:
+    def test_phase1_compresses_before_evicting(self):
+        policy, orch, specs = setup()
+        worker = orch.workers()[0]
+        a = idle(orch, specs["a"])
+        b = idle(orch, specs["b"])
+        # 600/1000 used (400 free). Need 650 free -> compressing both
+        # (frees 150 each) reaches 700 free without evicting anything.
+        assert policy.make_room(worker, 650.0, 0.0)
+        assert a.is_compressed and b.is_compressed
+        assert len(worker.containers) == 2
+        assert worker.free_mb >= 650.0
+
+    def test_phase2_evicts_compressed(self):
+        policy, orch, specs = setup(capacity_mb=700.0)
+        worker = orch.workers()[0]
+        a = idle(orch, specs["a"])
+        b = idle(orch, specs["b"])
+        # 600/700 used; need 600 free: compressing both frees 300
+        # (100 + 300 = 400 free) — still short, so evict compressed ones.
+        assert policy.make_room(worker, 600.0, 0.0)
+        assert worker.free_mb >= 600.0
+        assert len(worker.containers) < 2
+
+    def test_for_func_containers_not_compressed(self):
+        policy, orch, specs = setup()
+        worker = orch.workers()[0]
+        a = idle(orch, specs["a"])
+        idle(orch, specs["b"])
+        # Making room for "a" must not compress a's own idle container.
+        assert policy.make_room(worker, 500.0, 0.0, for_func="a")
+        assert not a.is_compressed or a.worker is None
+
+    def test_infeasible_fails_cleanly(self):
+        policy, orch, specs = setup(capacity_mb=400.0)
+        worker = orch.workers()[0]
+        a = idle(orch, specs["a"])
+        req = Request("a", 0.0, 1.0)
+        req.start_ms = 0.0
+        a.start_request(req, 0.0)   # busy: nothing reclaimable
+        assert not policy.make_room(worker, 300.0, 0.0)
+
+
+class TestProvisionedAccounting:
+    def test_provisioned_mb_counts_cold_starts(self):
+        from repro.policies.lru import LRUPolicy
+        from repro.sim.orchestrator import simulate
+        spec = FunctionSpec("fn", memory_mb=200.0, cold_start_ms=100.0)
+        reqs = [Request("fn", 0.0, 1_000.0),
+                Request("fn", 10.0, 1_000.0)]   # two concurrent colds
+        result = simulate([spec], reqs, LRUPolicy(),
+                          SimulationConfig(capacity_gb=1.0))
+        assert result.provisioned_mb == pytest.approx(400.0)
+        assert result.cold_starts_begun == 2

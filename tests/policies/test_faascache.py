@@ -1,0 +1,131 @@
+"""Unit tests for GDSF (FaasCache) priorities and variants."""
+
+import pytest
+
+from repro.policies.faascache import (BoundedQueueFaasCache,
+                                      FaasCacheCPolicy, FaasCachePolicy)
+from repro.sim.container import Container
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+from repro.sim.worker import Worker
+
+
+def make(policy_cls=FaasCachePolicy):
+    policy = policy_cls()
+    worker = Worker(0, capacity_mb=10_000)
+    return policy, worker
+
+
+def warm_container(worker, spec, now=0.0):
+    c = Container(spec, now)
+    worker.add(c)
+    c.mark_ready(now)
+    return c
+
+
+class TestGDSFPriority:
+    def test_priority_formula(self):
+        policy, worker = make()
+        spec = FunctionSpec("fn", memory_mb=200, cold_start_ms=600)
+        c = warm_container(worker, spec)
+        policy.freq["fn"] = 4
+        # clock 0 + 4 * 600 / 200 = 12
+        assert policy.priority(c, 0.0) == pytest.approx(12.0)
+
+    def test_eviction_raises_global_clock(self):
+        policy, worker = make()
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=100)
+        c = warm_container(worker, spec)
+        policy.freq["fn"] = 5
+        policy.on_eviction([c], 0.0)
+        assert policy.global_clock == pytest.approx(5.0)
+        # Clock never decreases.
+        low = warm_container(worker, FunctionSpec("g", 100, 1))
+        policy.on_eviction([low, ], 0.0)
+        assert policy.global_clock >= 5.0
+
+    def test_touch_inherits_global_clock(self):
+        policy, worker = make()
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=100)
+        c = warm_container(worker, spec)
+        policy.global_clock = 42.0
+        policy.on_warm_start(c, Request("fn", 0.0, 1.0), 0.0)
+        assert c.clock == 42.0
+
+    def test_frequency_counts_arrivals(self):
+        policy, worker = make()
+        for _ in range(3):
+            policy.on_request_arrival(Request("fn", 0.0, 1.0), worker, 0.0)
+        assert policy.freq["fn"] == 3
+
+    def test_cost_size_tradeoff_orders_victims(self):
+        policy, worker = make()
+        cheap = warm_container(worker, FunctionSpec("cheap", 1000, 100))
+        pricey = warm_container(worker, FunctionSpec("pricey", 100, 1000))
+        policy.freq.update(cheap=1, pricey=1)
+        assert (policy.priority(cheap, 0.0)
+                < policy.priority(pricey, 0.0))
+
+    def test_batch_priorities_match_scalar(self):
+        policy, worker = make()
+        containers = [warm_container(worker,
+                                     FunctionSpec(f"f{i}", 100 + i, 50 * i
+                                                  + 1))
+                      for i in range(5)]
+        for i in range(5):
+            policy.freq[f"f{i}"] = i + 1
+        batch = policy.priorities(containers, 0.0)
+        scalar = [policy.priority(c, 0.0) for c in containers]
+        assert batch == pytest.approx(scalar)
+
+
+class TestFaasCacheC:
+    def test_k_denominator(self):
+        policy, worker = make(FaasCacheCPolicy)
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=400)
+        c1 = warm_container(worker, spec)
+        policy.freq["fn"] = 2
+        p_single = policy.priority(c1, 0.0)
+        warm_container(worker, spec)   # K becomes 2
+        p_double = policy.priority(c1, 0.0)
+        assert p_double == pytest.approx(p_single / 2)
+
+    def test_batch_matches_scalar(self):
+        policy, worker = make(FaasCacheCPolicy)
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=400)
+        containers = [warm_container(worker, spec) for _ in range(3)]
+        policy.freq["fn"] = 7
+        assert policy.priorities(containers, 0.0) == pytest.approx(
+            [policy.priority(c, 0.0) for c in containers])
+
+
+class TestBoundedQueue:
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            BoundedQueueFaasCache(-1)
+
+    def test_name_includes_length(self):
+        assert BoundedQueueFaasCache(2).name == "FaasCache-L2"
+
+    def test_scale_commits_to_least_queued(self):
+        policy, worker = make(lambda: BoundedQueueFaasCache(2))
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=400)
+        c1 = warm_container(worker, spec)
+        c2 = warm_container(worker, spec)
+        for c in (c1, c2):
+            c.start_request(Request("fn", 0.0, 100.0), 0.0)
+        d1 = policy.scale(Request("fn", 1.0, 1.0), worker, 1.0)
+        assert d1.target in (c1, c2)
+        first_target = d1.target
+        d2 = policy.scale(Request("fn", 2.0, 1.0), worker, 2.0)
+        assert d2.target is not first_target  # balance across queues
+
+    def test_scale_cold_when_full(self):
+        policy, worker = make(lambda: BoundedQueueFaasCache(1))
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=400)
+        c = warm_container(worker, spec)
+        c.start_request(Request("fn", 0.0, 100.0), 0.0)
+        assert policy.scale(Request("fn", 1.0, 1.0), worker,
+                            1.0).target is c
+        decision = policy.scale(Request("fn", 2.0, 1.0), worker, 2.0)
+        assert decision.target is None  # queue full -> cold

@@ -1,0 +1,97 @@
+"""Tests for the HybridHistogram (Serverless in the Wild) extension."""
+
+import pytest
+
+from repro.policies.hybrid_histogram import (MINUTE_MS, HybridHistogramPolicy,
+                                             _IdleHistogram)
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator, simulate
+from repro.sim.request import Request, StartType
+
+
+def spec(name="fn", mem=100.0, cold=500.0):
+    return FunctionSpec(name, memory_mb=mem, cold_start_ms=cold)
+
+
+class TestHistogram:
+    def test_observe_records_inter_arrivals(self):
+        hist = _IdleHistogram(10)
+        hist.observe(0.0)
+        hist.observe(2 * MINUTE_MS)      # 2-minute gap
+        hist.observe(2 * MINUTE_MS + 30_000.0)   # sub-minute gap
+        assert hist.count == 2
+        assert hist.bins[2] == 1
+        assert hist.bins[0] == 1
+
+    def test_percentiles(self):
+        hist = _IdleHistogram(10)
+        hist.observe(0.0)
+        for gap_min in (1, 1, 1, 1, 1, 1, 1, 1, 1, 5):
+            hist.observe(hist.last_arrival_ms + gap_min * MINUTE_MS)
+        assert hist.percentile_minutes(50) == 1
+        assert hist.percentile_minutes(99) == 5
+
+    def test_empty_percentile_none(self):
+        assert _IdleHistogram(10).percentile_minutes(99) is None
+
+    def test_overflow_bin_marks_out_of_bounds(self):
+        hist = _IdleHistogram(2)
+        hist.observe(0.0)
+        for _ in range(3):
+            hist.observe(hist.last_arrival_ms + 100 * MINUTE_MS)
+        assert hist.is_out_of_bounds()
+
+
+class TestPolicy:
+    def test_invalid_percentiles(self):
+        with pytest.raises(ValueError):
+            HybridHistogramPolicy(keep_percentile=5.0,
+                                  prewarm_percentile=99.0)
+
+    def test_fallback_ttl_without_history(self):
+        policy = HybridHistogramPolicy(fallback_ttl_ms=123.0)
+        assert policy.keep_alive_ms("new-fn") == 123.0
+        assert policy.prewarm_at_ms("new-fn") is None
+
+    def test_keep_alive_from_histogram(self):
+        policy = HybridHistogramPolicy(min_samples=3)
+        orch = Orchestrator([spec()], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        worker = orch.workers()[0]
+        t = 0.0
+        for _ in range(6):
+            policy.on_request_arrival(Request("fn", t, 1.0), worker, t)
+            t += 2 * MINUTE_MS
+        # All gaps are 2 minutes: keep-alive = (2 + 1) minutes.
+        assert policy.keep_alive_ms("fn") == 3 * MINUTE_MS
+
+    def test_releases_and_prewarms_periodic_function(self):
+        """A strictly periodic function (period 4 min) should see warm
+        starts after the histogram trains, with the container released
+        in between (memory saved) and pre-warmed before each arrival."""
+        period = 4 * MINUTE_MS
+        reqs = [Request("fn", float(i) * period, 100.0)
+                for i in range(1, 14)]
+        policy = HybridHistogramPolicy(min_samples=5,
+                                       keep_percentile=60.0,
+                                       prewarm_percentile=50.0,
+                                       fallback_ttl_ms=30_000.0)
+        result = simulate([spec()], reqs, policy,
+                          SimulationConfig(capacity_gb=1.0))
+        trained = [r for r in result.requests
+                   if r.arrival_ms >= 8 * period]
+        warm = sum(1 for r in trained
+                   if r.start_type is StartType.WARM)
+        assert result.prewarm_starts > 0
+        assert warm >= len(trained) - 1
+        assert result.evictions > 0   # windows released between calls
+
+    def test_concurrency_still_hurts_it(self):
+        """Unlike CIDRE, the histogram policy cold-starts bursts."""
+        reqs = [Request("fn", 60_000.0 + float(i), 500.0)
+                for i in range(20)]   # one concurrent burst
+        policy = HybridHistogramPolicy()
+        result = simulate([spec()], reqs, policy,
+                          SimulationConfig(capacity_gb=10.0))
+        assert result.cold_start_ratio > 0.9

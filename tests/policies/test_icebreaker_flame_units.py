@@ -1,0 +1,110 @@
+"""Deeper unit tests for the IceBreaker predictor and Flame controller."""
+
+import pytest
+
+from repro.policies.flame import FlamePolicy
+from repro.policies.icebreaker import IceBreakerPolicy, _ArrivalModel
+from repro.sim.config import SimulationConfig
+from repro.sim.container import Container
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator, simulate
+from repro.sim.request import Request, StartType
+
+
+def spec(name="fn", mem=100.0, cold=500.0):
+    return FunctionSpec(name, memory_mb=mem, cold_start_ms=cold)
+
+
+class TestArrivalModel:
+    def test_first_observation_no_prediction(self):
+        model = _ArrivalModel(alpha=0.5)
+        model.observe(1_000.0)
+        assert model.predicted_next_ms() is None
+
+    def test_ewma_converges_to_period(self):
+        model = _ArrivalModel(alpha=0.5)
+        for i in range(20):
+            model.observe(float(i) * 10_000.0)
+        assert model.ewma_iat_ms == pytest.approx(10_000.0)
+        assert model.predicted_next_ms() == pytest.approx(200_000.0)
+
+    def test_ewma_weights_recent(self):
+        model = _ArrivalModel(alpha=0.9)
+        model.observe(0.0)
+        model.observe(10_000.0)   # IAT 10 s
+        model.observe(11_000.0)   # IAT 1 s (recent)
+        assert model.ewma_iat_ms < 3_000.0
+
+
+class TestIceBreakerPriority:
+    def test_benefit_per_byte_ordering(self):
+        policy = IceBreakerPolicy()
+        orch = Orchestrator([spec("cheap"), spec("hot")], policy,
+                            SimulationConfig(capacity_gb=2.0))
+        worker = orch.workers()[0]
+        cheap = Container(FunctionSpec("cheap", 1000, 100), 0.0)
+        hot = Container(FunctionSpec("hot", 100, 1000), 0.0)
+        for c in (cheap, hot):
+            worker.add(c)
+            c.mark_ready(0.0)
+        policy._freq.update(cheap=1, hot=10)
+        assert policy.priority(hot, 1_000.0) \
+            > policy.priority(cheap, 1_000.0)
+
+    def test_burst_not_prewarmed(self):
+        """A one-off concurrent burst defeats the EWMA predictor — the
+        weakness CIDRE exploits (§5.1)."""
+        reqs = [Request("fn", 300_000.0 + float(i), 200.0)
+                for i in range(15)]
+        result = simulate([spec()], reqs, IceBreakerPolicy(),
+                          SimulationConfig(capacity_gb=10.0))
+        # No inter-arrival history before the burst: almost all cold.
+        assert result.cold_start_ratio > 0.8
+        assert result.prewarm_starts == 0
+
+
+class TestFlameController:
+    def test_trims_hot_function_pool_to_peak(self):
+        """After a burst passes, the controller shrinks the function's
+        idle pool toward its current demand."""
+        reqs = [Request("fn", float(i % 10) * 5.0 + (i // 10) * 2_000.0,
+                        400.0) for i in range(50)]
+        reqs.append(Request("fn", 120_000.0, 50.0))   # stay above rate cut
+        policy = FlamePolicy(window_ms=30_000.0, cold_rate_per_min=0.1,
+                             headroom=1)
+        result = simulate([spec()], reqs, policy,
+                          SimulationConfig(capacity_gb=10.0))
+        assert result.evictions > 0
+
+    def test_priority_orders_by_rate_then_recency(self):
+        policy = FlamePolicy(window_ms=60_000.0)
+        orch = Orchestrator([spec("busy"), spec("quiet")], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        worker = orch.workers()[0]
+        busy = Container(spec("busy"), 0.0)
+        quiet = Container(spec("quiet"), 0.0)
+        for c in (busy, quiet):
+            worker.add(c)
+            c.mark_ready(0.0)
+        for i in range(30):
+            policy.on_request_arrival(Request("busy", float(i) * 100.0,
+                                              1.0), worker,
+                                      float(i) * 100.0)
+        policy.on_request_arrival(Request("quiet", 0.0, 1.0), worker, 0.0)
+        assert policy.priority(quiet, 3_000.0) \
+            < policy.priority(busy, 3_000.0)
+
+    def test_recency_breaks_ties_within_function(self):
+        policy = FlamePolicy()
+        orch = Orchestrator([spec()], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        worker = orch.workers()[0]
+        older = Container(spec(), 0.0)
+        newer = Container(spec(), 0.0)
+        for c in (older, newer):
+            worker.add(c)
+            c.mark_ready(0.0)
+        older.last_used_ms = 100.0
+        newer.last_used_ms = 5_000.0
+        assert policy.priority(older, 10_000.0) \
+            < policy.priority(newer, 10_000.0)

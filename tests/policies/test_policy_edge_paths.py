@@ -1,0 +1,88 @@
+"""Edge-path coverage for the prewarming/autoscaling baselines."""
+
+import pytest
+
+from repro.policies.ensure import EnsurePolicy
+from repro.policies.hybrid_histogram import (MINUTE_MS,
+                                             HybridHistogramPolicy)
+from repro.policies.icebreaker import IceBreakerPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+GB = 1024.0
+
+
+def spec(name="fn", mem=100.0, cold=500.0):
+    return FunctionSpec(name, memory_mb=mem, cold_start_ms=cold)
+
+
+class TestHybridHistogramOOB:
+    def test_unpredictable_pattern_falls_back_to_ttl(self):
+        policy = HybridHistogramPolicy(min_samples=2, max_minutes=3,
+                                       fallback_ttl_ms=77_000.0)
+        orch = Orchestrator([spec()], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        worker = orch.workers()[0]
+        # Gaps far beyond the histogram range -> overflow bin dominates.
+        t = 0.0
+        for _ in range(6):
+            policy.on_request_arrival(Request("fn", t, 1.0), worker, t)
+            t += 100 * MINUTE_MS
+        assert policy.keep_alive_ms("fn") == 77_000.0
+        assert policy.prewarm_at_ms("fn") is None
+
+    def test_subminute_gaps_use_keep_alive_not_prewarm(self):
+        policy = HybridHistogramPolicy(min_samples=2)
+        orch = Orchestrator([spec()], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        worker = orch.workers()[0]
+        t = 0.0
+        for _ in range(10):
+            policy.on_request_arrival(Request("fn", t, 1.0), worker, t)
+            t += 10_000.0   # 10-second gaps: bin 0
+        assert policy.prewarm_at_ms("fn") is None   # nothing to sleep over
+        assert policy.keep_alive_ms("fn") == 1 * MINUTE_MS
+
+
+class TestEnsureBudget:
+    def test_scale_up_respects_reserved_fraction(self):
+        policy = EnsurePolicy(window_ms=10_000.0, burst_buffer=10,
+                              max_reserved_fraction=0.5)
+        orch = Orchestrator([spec(mem=200.0)], policy,
+                            SimulationConfig(capacity_gb=1_000.0 / GB))
+        # Demand history implying a large target pool.
+        for i in range(10):
+            req = Request("fn", float(i) * 1_000.0, 5_000.0)
+            req.start_ms = req.arrival_ms
+            req.end_ms = req.arrival_ms + 5_000.0
+            policy.on_request_complete(None, req, req.end_ms)
+        policy.on_maintenance(9_000.0)
+        # Budget: 50% of 1000 MB = 500 MB -> at most 2 x 200 MB prewarmed.
+        assert orch.metrics.prewarm_starts <= 2
+
+
+class TestIceBreakerGuards:
+    def test_no_prewarm_when_already_warming(self):
+        policy = IceBreakerPolicy(horizon_ms=100 * MINUTE_MS)
+        orch = Orchestrator([spec()], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        worker = orch.workers()[0]
+        # Train a periodic model.
+        for i in range(5):
+            policy.on_request_arrival(Request("fn", float(i) * 10_000.0,
+                                              1.0), worker,
+                                      float(i) * 10_000.0)
+        policy._maybe_prewarm(worker, "fn", 41_000.0)
+        first = orch.metrics.prewarm_starts
+        policy._maybe_prewarm(worker, "fn", 41_500.0)
+        # The in-flight provisioning container suppresses a duplicate.
+        assert orch.metrics.prewarm_starts == first == 1
+
+    def test_no_prewarm_without_model(self):
+        policy = IceBreakerPolicy()
+        orch = Orchestrator([spec()], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        policy._maybe_prewarm(orch.workers()[0], "fn", 1_000.0)
+        assert orch.metrics.prewarm_starts == 0

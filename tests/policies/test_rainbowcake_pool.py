@@ -1,0 +1,77 @@
+"""Unit tests for RainbowCake's internal layer pool."""
+
+import pytest
+
+from repro.policies.rainbowcake import (RainbowCakePolicy, _LayerPool,
+                                        _WarmLayer)
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec, LayerStack
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+
+class TestLayerPool:
+    def test_take_matching_kind(self):
+        pool = _LayerPool()
+        lang = _WarmLayer(("lang", "python3.8"), 40.0, 100.0, 0.0)
+        bare = _WarmLayer(("bare", ""), 30.0, 50.0, 0.0)
+        pool.layers = [lang, bare]
+        assert pool.take(("lang", "python3.8")) is lang
+        assert pool.take(("lang", "python3.8")) is None   # consumed
+        assert pool.total_mb() == 30.0
+
+    def test_take_wrong_runtime(self):
+        pool = _LayerPool()
+        pool.layers = [_WarmLayer(("lang", "python3.8"), 40.0, 100.0, 0.0)]
+        assert pool.take(("lang", "nodejs14")) is None
+
+    def test_drop_oldest(self):
+        pool = _LayerPool()
+        newer = _WarmLayer(("bare", ""), 30.0, 50.0, cached_at=10.0)
+        older = _WarmLayer(("bare", ""), 30.0, 50.0, cached_at=5.0)
+        pool.layers = [newer, older]
+        assert pool.drop_oldest() is older
+        assert pool.drop_oldest() is newer
+        assert pool.drop_oldest() is None
+
+    def test_expire_by_kind(self):
+        pool = _LayerPool()
+        pool.layers = [
+            _WarmLayer(("bare", ""), 30.0, 50.0, cached_at=0.0),
+            _WarmLayer(("lang", "python3.8"), 40.0, 100.0, cached_at=0.0),
+        ]
+        # lang TTL 100 ms, bare TTL 1000 ms; at t=500 only lang expires.
+        ttl = lambda kind: 1000.0 if kind[0] == "bare" else 100.0
+        expired = pool.expire(500.0, ttl)
+        assert [l.kind[0] for l in expired] == ["lang"]
+        assert [l.kind[0] for l in pool.layers] == ["bare"]
+
+
+class TestLayerStack:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            LayerStack(bare_cost_fraction=0.5, lang_cost_fraction=0.5,
+                       user_cost_fraction=0.5)
+
+    def test_layer_accessors(self):
+        spec = FunctionSpec("f", memory_mb=200, cold_start_ms=1000)
+        total_cost = sum(spec.layer_cost_ms(l)
+                         for l in ("bare", "lang", "user"))
+        total_mem = sum(spec.layer_mem_mb(l)
+                        for l in ("bare", "lang", "user"))
+        assert total_cost == pytest.approx(1000.0)
+        assert total_mem == pytest.approx(200.0)
+
+
+class TestPoolCap:
+    def test_pool_respects_cap(self):
+        """With a tiny pool cap, decayed layers are dropped, not kept."""
+        spec = FunctionSpec("f", memory_mb=400, cold_start_ms=500)
+        policy = RainbowCakePolicy(user_ttl_ms=1_000.0,
+                                   max_pool_fraction=0.01)
+        orch = Orchestrator([spec], policy,
+                            SimulationConfig(capacity_gb=1.0))
+        orch.run([Request("f", 0.0, 10.0), Request("f", 30_000.0, 10.0)])
+        worker = orch.workers()[0]
+        # Cap is 1% of 1 GB = ~10 MB < any layer of a 400 MB container.
+        assert worker.reservation("rainbowcake-layers") == 0.0

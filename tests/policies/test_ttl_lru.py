@@ -1,0 +1,73 @@
+"""Focused tests for the TTL and LRU baselines."""
+
+import pytest
+
+from repro.policies.lru import LRUPolicy
+from repro.policies.ttl import TTLPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import simulate
+from repro.sim.request import Request, StartType
+
+GB = 1024.0
+
+
+def spec(name="fn", mem=100.0):
+    return FunctionSpec(name, memory_mb=mem, cold_start_ms=500.0)
+
+
+class TestTTL:
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            TTLPolicy(ttl_ms=0.0)
+
+    def test_expiry_is_sliding(self):
+        """The lifespan restarts on each use (keep-alive semantics)."""
+        reqs = [Request("fn", float(i) * 40_000.0, 10.0)
+                for i in range(5)]   # used every 40 s, TTL 60 s
+        result = simulate([spec()], reqs, TTLPolicy(ttl_ms=60_000.0),
+                          SimulationConfig(capacity_gb=1.0))
+        warm = [r for r in result.requests if r.arrival_ms > 0]
+        assert all(r.start_type is StartType.WARM for r in warm)
+
+    def test_pressure_eviction_before_expiry(self):
+        """Under memory pressure TTL still reclaims (capacity-triggered),
+        oldest first."""
+        functions = [spec("a"), spec("b"), spec("c")]
+        reqs = [Request("a", 0.0, 10.0), Request("b", 1_000.0, 10.0),
+                Request("c", 2_000.0, 10.0)]   # only 2 fit
+        result = simulate(functions, reqs,
+                          TTLPolicy(ttl_ms=600_000.0),
+                          SimulationConfig(capacity_gb=200.0 / GB))
+        assert result.evictions == 1
+        assert result.total == 3
+
+    def test_no_expiry_within_ttl(self):
+        reqs = [Request("fn", 0.0, 10.0), Request("fn", 5_000.0, 10.0)]
+        result = simulate([spec()], reqs, TTLPolicy(ttl_ms=600_000.0),
+                          SimulationConfig(capacity_gb=1.0))
+        assert result.evictions == 0
+
+
+class TestLRU:
+    def test_never_reuses_busy(self):
+        reqs = [Request("fn", 0.0, 5_000.0), Request("fn", 100.0, 10.0)]
+        result = simulate([spec()], reqs, LRUPolicy(),
+                          SimulationConfig(capacity_gb=1.0))
+        assert result.delayed_start_ratio == 0.0
+        assert result.cold_start_ratio == 1.0
+
+    def test_recency_over_frequency(self):
+        """LRU keeps the recently used container even if another function
+        was historically hotter — the classic LRU-vs-LFU distinction."""
+        functions = [spec("hot"), spec("recent"), spec("new")]
+        reqs = [Request("hot", float(i) * 100.0, 10.0)
+                for i in range(20)]          # hot: many uses, ends early
+        reqs.append(Request("recent", 50_000.0, 10.0))
+        reqs.append(Request("new", 51_000.0, 10.0))    # forces eviction
+        reqs.append(Request("recent", 52_000.0, 10.0))  # should be warm
+        result = simulate(functions, reqs, LRUPolicy(),
+                          SimulationConfig(capacity_gb=200.0 / GB))
+        last = max(result.requests, key=lambda r: r.arrival_ms)
+        assert last.func == "recent"
+        assert last.start_type is StartType.WARM

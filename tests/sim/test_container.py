@@ -1,0 +1,141 @@
+"""Unit tests for the container state machine."""
+
+import pytest
+
+from repro.sim.container import Container, ContainerState
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+
+
+@pytest.fixture
+def spec():
+    return FunctionSpec("fn", memory_mb=256, cold_start_ms=500)
+
+
+@pytest.fixture
+def ready(spec):
+    c = Container(spec, now=0.0)
+    c.mark_ready(10.0)
+    return c
+
+
+class TestLifecycle:
+    def test_starts_provisioning(self, spec):
+        c = Container(spec, now=5.0)
+        assert c.is_provisioning
+        assert c.created_ms == 5.0
+        assert c.ready_ms is None
+        assert not c.is_evictable
+        assert c.free_slots == 0
+
+    def test_mark_ready(self, spec):
+        c = Container(spec, now=0.0)
+        c.mark_ready(500.0)
+        assert c.is_idle
+        assert c.ready_ms == 500.0
+        assert c.is_evictable
+        assert c.free_slots == 1
+
+    def test_mark_ready_twice_rejected(self, ready):
+        with pytest.raises(RuntimeError):
+            ready.mark_ready(20.0)
+
+    def test_start_and_finish_request(self, ready):
+        req = Request("fn", arrival_ms=10.0, exec_ms=30.0)
+        ready.start_request(req, 10.0)
+        assert ready.is_busy
+        assert not ready.is_evictable
+        assert ready.free_slots == 0
+        assert ready.reuse_count == 1
+        ready.finish_request(req, 40.0)
+        assert ready.is_idle
+        assert ready.last_idle_ms == 40.0
+
+    def test_no_free_slot_rejected(self, ready):
+        ready.start_request(Request("fn", 0.0, 10.0), 0.0)
+        with pytest.raises(RuntimeError):
+            ready.start_request(Request("fn", 0.0, 10.0), 0.0)
+
+    def test_multi_thread_slots(self, spec):
+        c = Container(spec, now=0.0, threads=3)
+        c.mark_ready(0.0)
+        reqs = [Request("fn", 0.0, 10.0) for _ in range(3)]
+        for r in reqs:
+            c.start_request(r, 0.0)
+        assert c.free_slots == 0
+        assert c.is_busy
+        c.finish_request(reqs[0], 5.0)
+        assert c.free_slots == 1
+        assert c.is_busy  # still two active
+        c.finish_request(reqs[1], 6.0)
+        c.finish_request(reqs[2], 7.0)
+        assert c.is_idle
+
+    def test_evict_busy_rejected(self, ready):
+        ready.start_request(Request("fn", 0.0, 10.0), 0.0)
+        with pytest.raises(RuntimeError):
+            ready.mark_evicted()
+
+    def test_evict_idle(self, ready):
+        ready.mark_evicted()
+        assert ready.state is ContainerState.EVICTED
+
+    def test_unique_ids(self, spec):
+        a, b = Container(spec, 0.0), Container(spec, 0.0)
+        assert a.container_id != b.container_id
+
+    def test_invalid_threads(self, spec):
+        with pytest.raises(ValueError):
+            Container(spec, 0.0, threads=0)
+
+
+class TestCompression:
+    def test_compress_shrinks_footprint(self, ready):
+        ready.compress(0.4)
+        assert ready.is_compressed
+        assert ready.memory_mb == pytest.approx(256 * 0.4)
+        assert ready.is_evictable
+        assert ready.free_slots == 0
+
+    def test_compress_requires_idle(self, ready):
+        ready.start_request(Request("fn", 0.0, 10.0), 0.0)
+        with pytest.raises(RuntimeError):
+            ready.compress(0.4)
+
+    def test_compress_fraction_bounds(self, ready):
+        with pytest.raises(ValueError):
+            ready.compress(0.0)
+        with pytest.raises(ValueError):
+            ready.compress(1.5)
+
+    def test_decompress_restores(self, ready):
+        ready.compress(0.4)
+        ready.decompress()
+        assert ready.is_idle
+        assert ready.memory_mb == 256
+
+    def test_decompress_requires_compressed(self, ready):
+        with pytest.raises(RuntimeError):
+            ready.decompress()
+
+    def test_begin_restore(self, ready):
+        ready.compress(0.4)
+        ready.begin_restore(100.0)
+        assert ready.is_provisioning
+        assert ready.memory_mb == 256
+        assert ready.created_ms == 100.0
+        ready.mark_ready(150.0)
+        assert ready.is_idle
+
+    def test_begin_restore_requires_compressed(self, ready):
+        with pytest.raises(RuntimeError):
+            ready.begin_restore(0.0)
+
+
+class TestSpeculativeTracking:
+    def test_served_any_flips_on_use(self, spec):
+        c = Container(spec, 0.0, speculative=True)
+        c.mark_ready(1.0)
+        assert not c.served_any
+        c.start_request(Request("fn", 0.0, 10.0), 1.0)
+        assert c.served_any

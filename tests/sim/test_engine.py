@@ -1,0 +1,170 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "late")
+        sim.schedule(5.0, fired.append, "early")
+        sim.schedule(7.5, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for label in ("a", "b", "c"):
+            sim.schedule(5.0, fired.append, label)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42.0]
+        assert sim.now == 42.0
+
+    def test_absolute_scheduling(self):
+        sim = Simulator(start_time=100.0)
+        seen = []
+        sim.at(150.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [150.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.at(5.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_zero_delay_event_fires_at_now(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: (order.append("outer"),
+                                   sim.schedule(0.0, order.append,
+                                                "inner")))
+        sim.schedule(1.0, order.append, "peer")
+        sim.run()
+        # The zero-delay event fires after already-queued same-time peers.
+        assert order == ["outer", "peer", "inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()  # should not raise
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(5.0, lambda: None)
+        drop = sim.schedule(6.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        assert keep is not drop
+
+
+class TestRunUntil:
+    def test_run_until_stops_and_resumes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "a")
+        sim.schedule(15.0, fired.append, "b")
+        sim.run(until=10.0)
+        assert fired == ["a"]
+        assert sim.now == 10.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_empty_is_noop(self):
+        sim = Simulator()
+        sim.run()
+        assert sim.now == 0.0
+
+
+class TestPeriodic:
+    def test_periodic_fires_while_real_events_remain(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.schedule(35.0, lambda: None)  # keeps the sim alive to t=35
+        sim.run()
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_periodic_stops_without_real_events(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run()
+        assert ticks == []  # nothing real to observe: never runs
+
+    def test_periodic_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now), start_delay=0.0)
+        sim.schedule(25.0, lambda: None)
+        sim.run()
+        assert ticks == [0.0, 10.0, 20.0]
+
+    def test_periodic_cancel_stops_chain(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.schedule(15.0, handle.cancel)
+        sim.schedule(50.0, lambda: None)
+        sim.run()
+        assert ticks == [10.0]
+
+    def test_invalid_interval(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda: None)
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_any_delay_set_fires_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, fired.append, d)
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,104 @@
+"""Engine edge cases beyond the basic scheduling tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestRunUntilBoundaries:
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "x")
+        sim.run(until=10.0)
+        assert fired == ["x"]
+
+    def test_clock_lands_on_until_when_nothing_fires(self):
+        sim = Simulator()
+        sim.schedule(50.0, lambda: None)
+        sim.run(until=20.0)
+        assert sim.now == 20.0
+        sim.run()
+        assert sim.now == 50.0
+
+    def test_multiple_resume_rounds(self):
+        sim = Simulator()
+        fired = []
+        for t in (5.0, 15.0, 25.0):
+            sim.schedule(t, fired.append, t)
+        sim.run(until=10.0)
+        sim.run(until=20.0)
+        sim.run()
+        assert fired == [5.0, 15.0, 25.0]
+
+
+class TestCallbackErrors:
+    def test_exception_propagates_and_stops(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        fired = []
+        sim.schedule(1.0, boom)
+        sim.schedule(2.0, fired.append, "later")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # The failing event consumed the clock; the later one remains.
+        assert fired == []
+        assert sim.pending() == 1
+
+
+class TestCancellationDuringRun:
+    def test_event_cancelled_by_earlier_event(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(10.0, fired.append, "no")
+        sim.schedule(5.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_periodic_cancelled_by_event(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(5.0, lambda: ticks.append(sim.now))
+        sim.schedule(12.0, handle.cancel)
+        sim.schedule(40.0, lambda: None)
+        sim.run()
+        assert ticks == [5.0, 10.0]
+
+
+class TestPropertyScheduling:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.0, 1e5, allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=40))
+    def test_cancelled_subset_never_fires(self, items):
+        sim = Simulator()
+        fired = []
+        events = []
+        for delay, keep in items:
+            events.append((sim.schedule(delay, fired.append, delay),
+                           keep, delay))
+        for event, keep, _ in events:
+            if not keep:
+                event.cancel()
+        sim.run()
+        expected = sorted(d for _, keep, d in events if keep)
+        assert fired == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0.0, 1e4, allow_nan=False), min_size=1,
+                    max_size=30),
+           st.floats(1.0, 1e4, allow_nan=False))
+    def test_run_until_partition(self, delays, cut):
+        """run(until=cut) + run() fires exactly the same set as run()."""
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, fired.append, d)
+        sim.run(until=cut)
+        assert all(d <= cut for d in fired)
+        sim.run()
+        assert sorted(fired) == sorted(delays)

@@ -1,0 +1,83 @@
+"""Tests for the structured event log."""
+
+import pytest
+
+from repro.policies.lru import LRUPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.eventlog import Event, EventKind, EventLog
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+
+def run_logged(reqs, capacity_gb=1.0, functions=None):
+    log = EventLog()
+    functions = functions or [FunctionSpec("fn", 100.0, 500.0)]
+    orch = Orchestrator(functions, LRUPolicy(),
+                        SimulationConfig(capacity_gb=capacity_gb),
+                        event_log=log)
+    result = orch.run(reqs)
+    return log, result
+
+
+class TestEventLog:
+    def test_lifecycle_events_recorded(self):
+        log, _ = run_logged([Request("fn", 0.0, 100.0)])
+        kinds = [e.kind for e in log]
+        assert kinds == [EventKind.ARRIVAL, EventKind.PROVISION_START,
+                         EventKind.CONTAINER_READY, EventKind.EXEC_START,
+                         EventKind.EXEC_END]
+
+    def test_warm_start_has_no_provision(self):
+        log, _ = run_logged([Request("fn", 0.0, 100.0),
+                             Request("fn", 1_000.0, 100.0)])
+        assert len(log.of_kind(EventKind.PROVISION_START)) == 1
+        starts = log.of_kind(EventKind.EXEC_START)
+        assert starts[0].detail == "cold"
+        assert starts[1].detail == "warm"
+
+    def test_eviction_logged(self):
+        functions = [FunctionSpec("a", 100.0, 500.0),
+                     FunctionSpec("b", 100.0, 500.0)]
+        log, _ = run_logged([Request("a", 0.0, 10.0),
+                             Request("b", 1_000.0, 10.0)],
+                            capacity_gb=100.0 / 1024.0,
+                            functions=functions)
+        evictions = log.of_kind(EventKind.EVICTION)
+        assert len(evictions) == 1
+        assert evictions[0].func == "a"
+
+    def test_explain_request(self):
+        log, result = run_logged([Request("fn", 0.0, 100.0)])
+        story = log.explain_request(result.requests[0].req_id)
+        kinds = [e.kind for e in story]
+        assert EventKind.PROVISION_START in kinds
+        assert EventKind.EXEC_START in kinds
+        assert EventKind.EXEC_END in kinds
+
+    def test_queries_by_func_and_container(self):
+        log, result = run_logged([Request("fn", 0.0, 100.0)])
+        assert len(log.of_func("fn")) == len(log)
+        cid = result.requests[0].container_id
+        assert any(e.kind is EventKind.CONTAINER_READY
+                   for e in log.of_container(cid))
+
+    def test_render_and_str(self):
+        log, _ = run_logged([Request("fn", 0.0, 100.0)])
+        text = log.render()
+        assert "arrival" in text and "exec_start" in text
+        assert str(log.events[0])
+
+    def test_capacity_bound(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.record(float(i), EventKind.ARRIVAL, "f")
+        assert len(log) <= 4 + 2
+        assert log.dropped > 0
+
+    def test_disabled_by_default(self):
+        orch = Orchestrator([FunctionSpec("fn", 100.0, 500.0)],
+                            LRUPolicy(),
+                            SimulationConfig(capacity_gb=1.0))
+        orch.run([Request("fn", 0.0, 10.0)])
+        assert orch.event_log is None

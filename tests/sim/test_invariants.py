@@ -1,0 +1,118 @@
+"""Property-based invariants of the whole simulation.
+
+These run randomized workloads through every policy family and check the
+conservation laws any correct FaaS simulator must satisfy, regardless of
+policy behaviour:
+
+* every request completes exactly once, and never before its arrival;
+* execution durations are preserved (end - start == exec);
+* start types partition the requests;
+* a worker's committed memory never exceeds capacity;
+* BSS's worst-case guarantee: no request waits (materially) longer than
+  the memory-unconstrained cold start of its function.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cidre import CIDREBSSPolicy, CIDREPolicy
+from repro.policies.codecrunch import CodeCrunchPolicy
+from repro.policies.faascache import FaasCachePolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.rainbowcake import RainbowCakePolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request, StartType
+
+POLICIES = (LRUPolicy, FaasCachePolicy, CIDREBSSPolicy, CIDREPolicy,
+            RainbowCakePolicy, CodeCrunchPolicy)
+
+
+def workload(seed, n_functions, n_requests):
+    rng = np.random.default_rng(seed)
+    specs = [
+        FunctionSpec(f"f{i}",
+                     memory_mb=float(rng.integers(64, 512)),
+                     cold_start_ms=float(rng.integers(50, 2_000)))
+        for i in range(n_functions)
+    ]
+    requests = [
+        Request(f"f{rng.integers(0, n_functions)}",
+                float(rng.uniform(0, 60_000)),
+                float(rng.exponential(200.0) + 1.0))
+        for _ in range(n_requests)
+    ]
+    return specs, requests
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       policy_idx=st.integers(min_value=0, max_value=len(POLICIES) - 1),
+       capacity_mb=st.sampled_from([600.0, 1_500.0, 8_000.0]))
+def test_conservation_invariants(seed, policy_idx, capacity_mb):
+    specs, requests = workload(seed, n_functions=6, n_requests=60)
+    policy = POLICIES[policy_idx]()
+    config = SimulationConfig(capacity_gb=capacity_mb / 1024.0)
+    orch = Orchestrator(specs, policy, config)
+    result = orch.run(requests)
+
+    assert result.total == 60
+    for req in result.requests:
+        assert req.completed
+        assert req.start_ms >= req.arrival_ms
+        assert req.end_ms == req.start_ms + req.exec_ms
+        assert req.start_type in (StartType.WARM, StartType.DELAYED,
+                                  StartType.COLD)
+        if req.start_type is StartType.WARM:
+            assert req.wait_ms == 0.0
+        else:
+            assert req.wait_ms >= 0.0
+    # Memory accounting: committed never exceeded capacity at any sample.
+    for sample in result.memory_samples:
+        assert sample.used_mb <= config.capacity_mb + 1e-6
+    for worker in orch.workers():
+        assert 0.0 <= worker.used_mb <= worker.capacity_mb + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_bss_worst_case_guarantee(seed):
+    """With ample memory, BSS never waits longer than one cold start."""
+    specs, requests = workload(seed, n_functions=4, n_requests=50)
+    cold = {s.name: s.cold_start_ms for s in specs}
+    config = SimulationConfig(capacity_gb=64.0)   # no memory pressure
+    orch = Orchestrator(specs, CIDREBSSPolicy(), config)
+    result = orch.run(requests)
+    for req in result.requests:
+        assert req.wait_ms <= cold[req.func] + 1e-6
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_determinism_same_seed_same_outcome(seed):
+    specs, requests_a = workload(seed, n_functions=5, n_requests=40)
+    _, requests_b = workload(seed, n_functions=5, n_requests=40)
+    config = SimulationConfig(capacity_gb=1.0)
+    res_a = Orchestrator(specs, CIDREPolicy(), config).run(requests_a)
+    res_b = Orchestrator(specs, CIDREPolicy(), config).run(requests_b)
+    for a, b in zip(sorted(res_a.requests, key=lambda r: r.req_id),
+                    sorted(res_b.requests, key=lambda r: r.req_id)):
+        assert (a.start_ms, a.end_ms, a.start_type) \
+            == (b.start_ms, b.end_ms, b.start_type)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_warm_starts_follow_completions(seed):
+    """A WARM start implies the function had a container that finished
+    provisioning before the request arrived."""
+    specs, requests = workload(seed, n_functions=4, n_requests=40)
+    config = SimulationConfig(capacity_gb=1.0)
+    result = Orchestrator(specs, FaasCachePolicy(), config).run(requests)
+    first_arrival = {}
+    for req in sorted(result.requests, key=lambda r: r.arrival_ms):
+        if req.func not in first_arrival:
+            first_arrival[req.func] = req
+            # The very first request of a function can never be warm.
+            assert req.start_type is not StartType.WARM

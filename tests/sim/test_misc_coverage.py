@@ -1,0 +1,109 @@
+"""Miscellaneous behavioural coverage across the simulation substrate."""
+
+import pytest
+
+from repro.experiments.suites import (ABLATION_POLICIES, FIG12_POLICIES,
+                                      policy_factories)
+from repro.policies.codecrunch import CodeCrunchPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.container import Container
+from repro.sim.eventlog import EventKind, EventLog
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator, simulate
+from repro.sim.request import Request, StartType
+from repro.sim.worker import Worker
+
+GB = 1024.0
+
+
+def spec(name="fn", mem=100.0, cold=500.0):
+    return FunctionSpec(name, memory_mb=mem, cold_start_ms=cold)
+
+
+class TestSlotAvailability:
+    def test_compressed_containers_are_not_slots(self):
+        worker = Worker(0, 1_000.0)
+        c = Container(spec(), 0.0)
+        worker.add(c)
+        c.mark_ready(0.0)
+        c.compress(0.5)
+        assert worker.slot_available("fn") is None
+
+    def test_provisioning_containers_are_not_slots(self):
+        worker = Worker(0, 1_000.0)
+        c = Container(spec(), 0.0)
+        worker.add(c)
+        assert worker.slot_available("fn") is None
+
+
+class TestRestoreEventLogging:
+    def test_restore_event_recorded(self):
+        log = EventLog()
+        functions = [spec("a", mem=600.0), spec("b", mem=600.0)]
+        orch = Orchestrator(functions, CodeCrunchPolicy(),
+                            SimulationConfig(capacity_gb=1_000.0 / GB),
+                            event_log=log)
+        orch.run([
+            Request("a", 0.0, 10.0),
+            Request("b", 2_000.0, 10.0),    # compresses a
+            Request("a", 4_000.0, 10.0),    # restores a
+        ])
+        assert len(log.of_kind(EventKind.COMPRESSION)) >= 1
+        assert len(log.of_kind(EventKind.RESTORE_START)) == 1
+
+
+class TestSuitesContent:
+    def test_fig12_has_eleven_policies(self):
+        assert len(FIG12_POLICIES) == 11
+        assert FIG12_POLICIES[-1] == "Offline"
+
+    def test_ablation_ladder(self):
+        assert ABLATION_POLICIES == ["FaasCache", "CIP_alone", "BSS_alone",
+                                     "CSS_alone", "CIDRE"]
+
+    def test_all_factories_produce_named_policies(self):
+        trace_like = type("T", (), {"requests": []})()
+        for name, factory in policy_factories().items():
+            policy = factory(trace_like)
+            assert policy.name == name or name in ("FaasCache-C",) \
+                or policy.name.startswith(name)
+
+
+class TestZeroDurationRequests:
+    def test_zero_exec_requests_complete(self):
+        reqs = [Request("fn", float(i) * 10.0, 0.0) for i in range(10)]
+        result = simulate([spec()], reqs,
+                          policy_factories()["CIDRE"](None),
+                          SimulationConfig(capacity_gb=1.0))
+        assert result.total == 10
+        assert all(r.completed for r in result.requests)
+
+    def test_simultaneous_arrivals_deterministic(self):
+        reqs = [Request("fn", 100.0, 50.0) for _ in range(5)]
+        a = simulate([spec()], [Request(r.func, r.arrival_ms, r.exec_ms)
+                                for r in reqs],
+                     policy_factories()["FaasCache"](None),
+                     SimulationConfig(capacity_gb=1.0))
+        b = simulate([spec()], [Request(r.func, r.arrival_ms, r.exec_ms)
+                                for r in reqs],
+                     policy_factories()["FaasCache"](None),
+                     SimulationConfig(capacity_gb=1.0))
+        assert [r.start_ms for r in a.requests] \
+            == [r.start_ms for r in b.requests]
+
+
+class TestWarmupPhaseSemantics:
+    def test_warm_start_reuses_most_recent_container(self):
+        """MRU preference: the most recently used container serves next
+        (older ones age toward eviction)."""
+        reqs = [
+            Request("fn", 0.0, 1_000.0),     # cold -> c0
+            Request("fn", 100.0, 1_000.0),   # cold -> c1 (c0 busy)
+            Request("fn", 5_000.0, 10.0),    # warm on the MRU container
+        ]
+        result = simulate([spec()], reqs,
+                          policy_factories()["LRU"](None),
+                          SimulationConfig(capacity_gb=1.0))
+        ordered = sorted(result.requests, key=lambda r: r.arrival_ms)
+        # c1 finished last (used more recently), so it takes the request.
+        assert ordered[2].container_id == ordered[1].container_id

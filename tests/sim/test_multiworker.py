@@ -1,0 +1,101 @@
+"""Multi-worker cluster behaviour tests."""
+
+import pytest
+
+from repro.core.cidre import CIDREBSSPolicy
+from repro.policies.lru import LRUPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request, StartType
+
+GB = 1024.0
+
+
+def specs(n):
+    return [FunctionSpec(f"f{i}", memory_mb=100.0, cold_start_ms=500.0)
+            for i in range(n)]
+
+
+class TestDispatch:
+    def test_hash_dispatch_is_sticky(self):
+        """All requests of one function land on the same worker."""
+        functions = specs(6)
+        cfg = SimulationConfig(capacity_gb=4.0, workers=3,
+                               dispatch="hash")
+        orch = Orchestrator(functions, LRUPolicy(), cfg)
+        reqs = [Request(f"f{i % 6}", float(i) * 10.0, 5.0)
+                for i in range(60)]
+        orch.run(reqs)
+        for func in (f.name for f in functions):
+            hosting = [w.worker_id for w in orch.workers()
+                       if w.of_func(func)]
+            assert len(hosting) <= 1
+
+    def test_single_dispatch_uses_worker_zero(self):
+        cfg = SimulationConfig(capacity_gb=4.0, workers=3,
+                               dispatch="single")
+        orch = Orchestrator(specs(3), LRUPolicy(), cfg)
+        orch.run([Request(f"f{i}", float(i), 5.0) for i in range(3)])
+        assert orch.workers()[0].containers
+        assert not orch.workers()[1].containers
+        assert not orch.workers()[2].containers
+
+    def test_least_loaded_spreads(self):
+        cfg = SimulationConfig(capacity_gb=4.0, workers=4,
+                               dispatch="least-loaded")
+        orch = Orchestrator(specs(8), LRUPolicy(), cfg)
+        # Concurrent arrivals of 8 distinct functions.
+        orch.run([Request(f"f{i}", 0.0 + float(i) * 0.1, 10_000.0)
+                  for i in range(8)])
+        used = [w.worker_id for w in orch.workers() if w.containers]
+        assert len(used) == 4   # all workers took load
+
+    def test_per_worker_capacity_is_partitioned(self):
+        # 400 MB total over 4 workers = 100 MB each: a 150 MB function
+        # cannot fit anywhere.
+        big = FunctionSpec("big", memory_mb=150.0, cold_start_ms=1.0)
+        with pytest.raises(ValueError):
+            Orchestrator([big], LRUPolicy(),
+                         SimulationConfig(capacity_gb=400.0 / GB,
+                                          workers=4))
+
+
+class TestIsolation:
+    def test_speculation_stays_on_dispatch_worker(self):
+        """Speculative containers are provisioned on the worker that owns
+        the function (hash dispatch), not wherever memory is free."""
+        functions = specs(4)
+        cfg = SimulationConfig(capacity_gb=2.0, workers=2,
+                               dispatch="hash")
+        orch = Orchestrator(functions, CIDREBSSPolicy(), cfg)
+        reqs = []
+        for i in range(4):
+            reqs.append(Request(f"f{i}", 0.0, 2_000.0))
+            reqs.append(Request(f"f{i}", 100.0, 100.0))  # overlap
+        result = orch.run(reqs)
+        assert result.total == 8
+        for func in (f.name for f in functions):
+            hosting = [w.worker_id for w in orch.workers()
+                       if w.of_func(func)]
+            assert len(hosting) <= 1
+
+    def test_pressure_on_one_worker_does_not_evict_other(self):
+        # "fa" and "fd" hash to different workers (crc32 parity).
+        functions = [
+            FunctionSpec("fa", 900.0, 500.0),   # big, fills its worker
+            FunctionSpec("fd", 900.0, 500.0),
+        ]
+        cfg = SimulationConfig(capacity_gb=2000.0 / GB, workers=2,
+                               dispatch="hash")
+        orch = Orchestrator(functions, LRUPolicy(), cfg)
+        result = orch.run([
+            Request("fa", 0.0, 10.0),
+            Request("fd", 0.0, 10.0),
+            Request("fa", 5_000.0, 10.0),
+            Request("fd", 5_000.0, 10.0),
+        ])
+        # Both fit on their own worker: second round all warm.
+        later = [r for r in result.requests if r.arrival_ms == 5_000.0]
+        assert all(r.start_type is StartType.WARM for r in later)
+        assert result.evictions == 0

@@ -1,0 +1,86 @@
+"""Hypothesis properties over mixed workloads and the full policy roster.
+
+A heavier-weight companion to test_invariants.py: random multi-function
+workloads with bursts run through every registered policy factory, and
+the cross-policy dominance facts the paper's evaluation rests on are
+checked statistically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.suites import policy_factories
+from repro.sim.config import SimulationConfig
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request, StartType
+from repro.traces.schema import Trace
+
+
+def bursty_trace(seed, n_funcs=4, bursts=8):
+    rng = np.random.default_rng(seed)
+    functions = [FunctionSpec(f"f{i}",
+                              memory_mb=float(rng.integers(64, 256)),
+                              cold_start_ms=float(rng.integers(100,
+                                                               1_500)))
+                 for i in range(n_funcs)]
+    requests = []
+    for _ in range(bursts):
+        func = f"f{rng.integers(0, n_funcs)}"
+        at = float(rng.uniform(0, 120_000))
+        for _ in range(int(rng.integers(1, 8))):
+            requests.append(Request(func, at + float(rng.uniform(0, 100)),
+                                    float(rng.exponential(300.0) + 1.0)))
+    return Trace(f"prop-{seed}", functions, requests)
+
+
+ALL_POLICIES = sorted(policy_factories())
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       idx=st.integers(0, len(ALL_POLICIES) - 1))
+def test_every_policy_satisfies_core_invariants(seed, idx):
+    trace = bursty_trace(seed)
+    name = ALL_POLICIES[idx]
+    factory = policy_factories()[name]
+    orch = Orchestrator(trace.functions, factory(trace),
+                        SimulationConfig(capacity_gb=1.0))
+    result = orch.run(trace.fresh_requests())
+    assert result.total == trace.num_requests
+    for req in result.requests:
+        assert req.start_ms >= req.arrival_ms
+        assert req.end_ms == req.start_ms + req.exec_ms
+    # Conservation: every start type accounted for.
+    assert (result.count(StartType.WARM) + result.count(StartType.COLD)
+            + result.count(StartType.DELAYED)) == result.total
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_speculative_policies_never_lose_to_vanilla_on_wait(seed):
+    """With ample memory, BSS's per-request race means its total waiting
+    time cannot exceed vanilla FaasCache's on the same workload."""
+    trace = bursty_trace(seed)
+    config = SimulationConfig(capacity_gb=64.0)
+    table = policy_factories()
+    vanilla = Orchestrator(trace.functions, table["FaasCache"](trace),
+                           config).run(trace.fresh_requests())
+    bss = Orchestrator(trace.functions, table["CIDRE_BSS"](trace),
+                       config).run(trace.fresh_requests())
+    assert bss.waits_ms().sum() <= vanilla.waits_ms().sum() + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_more_memory_never_increases_faascache_cold_ratio(seed):
+    trace = bursty_trace(seed)
+    table = policy_factories()
+    small = Orchestrator(trace.functions, table["FaasCache"](trace),
+                         SimulationConfig(capacity_gb=0.5)
+                         ).run(trace.fresh_requests())
+    big = Orchestrator(trace.functions, table["FaasCache"](trace),
+                       SimulationConfig(capacity_gb=8.0)
+                       ).run(trace.fresh_requests())
+    assert big.cold_start_ratio <= small.cold_start_ratio + 1e-9

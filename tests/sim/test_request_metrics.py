@@ -1,0 +1,106 @@
+"""Unit tests for request records and metric aggregation."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.sim.request import Request, StartType
+
+
+def done(func="fn", arrival=0.0, start=10.0, exec_ms=40.0,
+         start_type=StartType.COLD):
+    r = Request(func, arrival, exec_ms)
+    r.start_ms = start
+    r.end_ms = start + exec_ms
+    r.start_type = start_type
+    return r
+
+
+class TestRequest:
+    def test_wait_and_service(self):
+        r = done(arrival=5.0, start=25.0, exec_ms=75.0)
+        assert r.wait_ms == 20.0
+        assert r.service_ms == 95.0
+        assert r.completed
+
+    def test_overhead_ratio(self):
+        r = done(arrival=0.0, start=100.0, exec_ms=300.0)
+        assert r.overhead_ratio == pytest.approx(0.25)
+
+    def test_zero_duration_ratio(self):
+        r = Request("fn", 0.0, 0.0)
+        r.start_ms = 0.0
+        r.end_ms = 0.0
+        assert r.overhead_ratio == 0.0
+
+    def test_unstarted_raises(self):
+        r = Request("fn", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            _ = r.wait_ms
+        with pytest.raises(ValueError):
+            _ = r.service_ms
+
+    def test_negative_exec_rejected(self):
+        with pytest.raises(ValueError):
+            Request("fn", 0.0, -1.0)
+
+
+class TestSimulationResult:
+    @pytest.fixture
+    def result(self):
+        requests = [
+            done(start_type=StartType.WARM, start=0.0, exec_ms=100.0),
+            done(start_type=StartType.WARM, start=0.0, exec_ms=100.0),
+            done(start_type=StartType.DELAYED, start=50.0, exec_ms=50.0),
+            done(start_type=StartType.COLD, start=300.0, exec_ms=100.0),
+        ]
+        return SimulationResult(requests)
+
+    def test_ratios_sum_to_one(self, result):
+        assert (result.cold_start_ratio + result.warm_start_ratio
+                + result.delayed_start_ratio) == pytest.approx(1.0)
+        assert result.cold_start_ratio == 0.25
+        assert result.warm_start_ratio == 0.5
+        assert result.delayed_start_ratio == 0.25
+
+    def test_avg_overhead_ratio(self, result):
+        # ratios: 0, 0, 0.5, 0.75
+        assert result.avg_overhead_ratio == pytest.approx(0.3125)
+
+    def test_avg_wait(self, result):
+        assert result.avg_wait_ms == pytest.approx((0 + 0 + 50 + 300) / 4)
+
+    def test_percentiles_monotone(self, result):
+        assert result.wait_percentile(50) <= result.wait_percentile(99)
+        assert result.service_percentile(10) <= result.service_percentile(90)
+
+    def test_empty_result(self):
+        empty = SimulationResult([])
+        assert empty.total == 0
+        assert empty.avg_overhead_ratio == 0.0
+        assert empty.cold_start_ratio == 0.0
+        assert empty.avg_memory_mb == 0.0
+
+    def test_per_function_split(self):
+        reqs = [done(func="a"), done(func="b"), done(func="a")]
+        split = SimulationResult(reqs).per_function()
+        assert split["a"].total == 2
+        assert split["b"].total == 1
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        for key in ("cold_ratio", "warm_ratio", "delayed_ratio",
+                    "avg_overhead_ratio", "avg_wait_ms", "requests"):
+            assert key in summary
+
+    def test_collector_roundtrip(self):
+        collector = MetricsCollector()
+        collector.record_request(done())
+        collector.record_memory(0.0, 512.0)
+        collector.cold_starts_begun = 3
+        collector.wasted_cold_starts = 1
+        result = collector.result()
+        assert result.total == 1
+        assert result.avg_memory_mb == 512.0
+        assert result.peak_memory_mb == 512.0
+        assert result.cold_starts_begun == 3
+        assert result.wasted_cold_starts == 1

@@ -1,0 +1,125 @@
+"""Unit tests for worker memory accounting and the container registry."""
+
+import pytest
+
+from repro.sim.container import Container
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+from repro.sim.worker import Worker
+
+
+@pytest.fixture
+def spec():
+    return FunctionSpec("fn", memory_mb=100, cold_start_ms=500)
+
+
+@pytest.fixture
+def worker():
+    return Worker(0, capacity_mb=1000)
+
+
+def make_ready(spec, worker, now=0.0):
+    c = Container(spec, now)
+    worker.add(c)
+    c.mark_ready(now)
+    return c
+
+
+class TestMemoryAccounting:
+    def test_add_charges_memory(self, worker, spec):
+        c = Container(spec, 0.0)
+        worker.add(c)
+        assert worker.used_mb == 100
+        assert worker.free_mb == 900
+        assert c.worker is worker
+
+    def test_remove_releases_memory(self, worker, spec):
+        c = make_ready(spec, worker)
+        worker.remove(c)
+        assert worker.used_mb == 0
+        assert c.worker is None
+        assert worker.of_func("fn") == []
+
+    def test_add_over_capacity_rejected(self, worker):
+        big = FunctionSpec("big", memory_mb=1100, cold_start_ms=1)
+        with pytest.raises(MemoryError):
+            worker.add(Container(big, 0.0))
+        assert worker.used_mb == 0
+
+    def test_remove_unknown_rejected(self, worker, spec):
+        with pytest.raises(KeyError):
+            worker.remove(Container(spec, 0.0))
+
+    def test_recharge_after_compression(self, worker, spec):
+        c = make_ready(spec, worker)
+        old = c.memory_mb
+        c.compress(0.4)
+        worker.recharge(c, old)
+        assert worker.used_mb == pytest.approx(40)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Worker(0, 0)
+
+
+class TestReservations:
+    def test_reserve_and_release(self, worker):
+        worker.reserve("layers", 300)
+        assert worker.used_mb == 300
+        assert worker.reservation("layers") == 300
+        worker.reserve("layers", 100)   # shrink
+        assert worker.used_mb == 100
+        worker.reserve("layers", 0)     # release
+        assert worker.used_mb == 0
+        assert worker.reservation("layers") == 0
+
+    def test_reserve_over_capacity_rejected(self, worker, spec):
+        make_ready(spec, worker)  # 100 used
+        with pytest.raises(MemoryError):
+            worker.reserve("layers", 950)
+
+    def test_negative_reservation_rejected(self, worker):
+        with pytest.raises(ValueError):
+            worker.reserve("layers", -1)
+
+
+class TestQueries:
+    def test_state_partitions(self, worker, spec):
+        provisioning = Container(spec, 0.0)
+        worker.add(provisioning)
+        idle = make_ready(spec, worker)
+        busy = make_ready(spec, worker)
+        busy.start_request(Request("fn", 0.0, 10.0), 0.0)
+        compressed = make_ready(spec, worker)
+        compressed.compress(0.5)
+
+        assert worker.provisioning_of("fn") == [provisioning]
+        assert worker.idle_of("fn") == [idle]
+        assert worker.busy_of("fn") == [busy]
+        assert worker.compressed_of("fn") == [compressed]
+        assert worker.warm_count("fn") == 2   # idle + busy only
+        assert set(worker.evictable()) == {idle, compressed}
+
+    def test_slot_available_prefers_most_recent(self, worker, spec):
+        older = make_ready(spec, worker, now=0.0)
+        newer = make_ready(spec, worker, now=5.0)
+        assert worker.slot_available("fn") is newer
+        assert older.last_used_ms < newer.last_used_ms
+
+    def test_slot_available_none_for_unknown(self, worker):
+        assert worker.slot_available("ghost") is None
+
+    def test_slot_available_multi_thread(self, worker):
+        spec = FunctionSpec("mt", memory_mb=100, cold_start_ms=1)
+        c = Container(spec, 0.0, threads=2)
+        worker.add(c)
+        c.mark_ready(0.0)
+        c.start_request(Request("mt", 0.0, 10.0), 0.0)
+        assert c.is_busy
+        # Busy but with a free slot: still dispatchable.
+        assert worker.slot_available("mt") is c
+
+    def test_evictable_mb(self, worker, spec):
+        make_ready(spec, worker)
+        make_ready(spec, worker)
+        assert worker.evictable_mb() == 200

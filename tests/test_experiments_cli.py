@@ -1,0 +1,127 @@
+"""Tests for the experiment harness and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import capacity_sweep, run_grid, run_one
+from repro.experiments.suites import (ABLATION_POLICIES, FIG12_POLICIES,
+                                      policy_factories, select)
+from repro.sim.config import SimulationConfig
+from repro.traces.azure import azure_trace
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return azure_trace(seed=3, total_requests=1_500, n_functions=20)
+
+
+class TestSuites:
+    def test_all_fig12_policies_resolvable(self):
+        factories = select(FIG12_POLICIES)
+        assert len(factories) == len(FIG12_POLICIES)
+
+    def test_ablation_policies_resolvable(self):
+        assert len(select(ABLATION_POLICIES)) == 5
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            select(["NotAPolicy"])
+
+    def test_factories_produce_fresh_instances(self, tiny):
+        factory = policy_factories()["CIDRE"]
+        assert factory(tiny) is not factory(tiny)
+
+
+class TestRunner:
+    def test_run_one(self, tiny):
+        result = run_one(tiny, policy_factories()["LRU"],
+                         SimulationConfig(capacity_gb=2.0))
+        assert result.policy_name == "LRU"
+        assert result.trace_name == tiny.name
+        assert result.result.total == tiny.num_requests
+        assert "cold_ratio" in result.summary()
+
+    def test_run_one_does_not_mutate_trace(self, tiny):
+        run_one(tiny, policy_factories()["LRU"],
+                SimulationConfig(capacity_gb=2.0))
+        assert all(r.start_ms is None for r in tiny.requests)
+
+    def test_run_grid(self, tiny):
+        results = run_grid(tiny, select(["LRU", "TTL"]),
+                           [SimulationConfig(capacity_gb=2.0),
+                            SimulationConfig(capacity_gb=4.0)])
+        assert len(results) == 4
+
+    def test_capacity_sweep(self, tiny):
+        results = capacity_sweep(tiny, select(["LRU"]), (2.0, 4.0))
+        caps = [r.config.capacity_gb for r in results]
+        assert caps == [2.0, 4.0]
+        # More memory never hurts a caching policy's cold ratio.
+        assert results[1].result.cold_start_ratio \
+            <= results[0].result.cold_start_ratio + 0.05
+
+    def test_offline_factory_uses_trace(self, tiny):
+        result = run_one(tiny, policy_factories()["Offline"],
+                         SimulationConfig(capacity_gb=2.0))
+        assert result.result.total == tiny.num_requests
+
+
+class TestCLI:
+    def test_compare_runs(self, capsys):
+        code = main(["compare", "--preset", "azure", "--requests", "1500",
+                     "--policies", "LRU,CIDRE", "--capacity-gb", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out and "CIDRE" in out
+
+    def test_run_unknown_policy(self, capsys):
+        code = main(["run", "--preset", "azure", "--requests", "1500",
+                     "--policy", "Nope"])
+        assert code == 2
+
+    def test_run_single_policy(self, capsys):
+        code = main(["run", "--preset", "fc", "--requests", "1500",
+                     "--policy", "FaasCache", "--capacity-gb", "2"])
+        assert code == 0
+        assert "avg_overhead_ratio" in capsys.readouterr().out
+
+    def test_generate_and_reload(self, tmp_path, capsys):
+        code = main(["generate", "--preset", "azure", "--requests",
+                     "1500", "--seed", "5", "--out", str(tmp_path)])
+        assert code == 0
+        name = [p.stem.replace(".functions", "")
+                for p in tmp_path.glob("*.functions.json")][0]
+        code = main(["run", "--load", str(tmp_path), "--trace-name", name,
+                     "--policy", "LRU", "--capacity-gb", "2"])
+        assert code == 0
+
+
+class TestCLIExtras:
+    def test_stats_command(self, capsys):
+        code = main(["stats", "--preset", "fc", "--requests", "1500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload statistics" in out
+        assert "function concurrency" in out
+
+    def test_whatif_command(self, capsys):
+        code = main(["whatif", "--preset", "azure", "--requests", "1500",
+                     "--capacity-gb", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queuing wins for" in out
+
+    def test_report_command_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(["report", "--preset", "azure", "--requests", "1500",
+                     "--capacities", "2", "--policies", "FaasCache,CIDRE",
+                     "--out", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert text.startswith("# Policy comparison")
+        assert "| CIDRE |" in text
+
+    def test_report_unknown_policy(self, capsys):
+        code = main(["report", "--preset", "azure", "--requests", "1500",
+                     "--policies", "Bogus"])
+        assert code == 2

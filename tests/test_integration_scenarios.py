@@ -1,0 +1,76 @@
+"""Cross-module integration scenarios tying the whole library together."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare
+from repro.analysis.whatif import tradeoff_analysis
+from repro.core.cidre import CIDREPolicy
+from repro.experiments.runner import run_one
+from repro.experiments.suites import policy_factories
+from repro.policies.faascache import FaasCachePolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.eventlog import EventKind, EventLog
+from repro.sim.orchestrator import Orchestrator
+from repro.traces.azure import azure_trace
+from repro.traces.transforms import scale_iat
+from repro.traces.workflows import mapreduce, video_pipeline, workflow_trace
+
+
+@pytest.fixture(scope="module")
+def small_azure():
+    return azure_trace(seed=21, total_requests=6_000, n_functions=40)
+
+
+class TestHeadlineClaimEndToEnd:
+    """The paper's abstract, executed: CIDRE reduces the cold-start ratio
+    and the average invocation overhead vs the SOTA keep-alive baseline."""
+
+    def test_cidre_beats_faascache_on_synthetic_azure(self, small_azure):
+        config = SimulationConfig(capacity_gb=8.0)
+        table = policy_factories()
+        faascache = run_one(small_azure, table["FaasCache"], config).result
+        cidre = run_one(small_azure, table["CIDRE"], config).result
+        delta = compare(faascache, cidre, "FaasCache", "CIDRE")
+        assert delta.cold_ratio_reduction_pct > 20.0
+        assert delta.overhead_reduction_pct > 0.0
+        assert delta.wait_reduction_pct > 0.0
+
+
+class TestWorkflowOverProduction:
+    def test_pipeline_on_top_of_background(self, small_azure):
+        trace = workflow_trace(
+            [video_pipeline(), mapreduce(mappers=30, reducers=5)],
+            [4, 4], duration_ms=small_azure.duration_ms,
+            background=small_azure, seed=9)
+        result = run_one(trace, policy_factories()["CIDRE"],
+                         SimulationConfig(capacity_gb=20.0)).result
+        assert result.total == trace.num_requests
+        fanout = result.per_function()["video-transcode"]
+        # Fan-outs against a shared cache: most chunks avoid cold starts.
+        assert fanout.cold_start_ratio < 0.5
+
+
+class TestWhatIfOnScaledLoad:
+    def test_tradeoff_grows_with_load(self, small_azure):
+        """Compressing IATs (more concurrency) produces more would-be cold
+        starts with a queuing alternative."""
+        cfg = SimulationConfig(capacity_gb=6.0)
+        light = tradeoff_analysis(scale_iat(small_azure, 2.0), cfg)
+        heavy = tradeoff_analysis(scale_iat(small_azure, 0.5), cfg)
+        assert len(heavy.queuing_ms) > len(light.queuing_ms)
+
+
+class TestEventLogAccounting:
+    def test_log_consistent_with_metrics(self, small_azure):
+        log = EventLog()
+        orch = Orchestrator(small_azure.functions, CIDREPolicy(),
+                            SimulationConfig(capacity_gb=6.0),
+                            event_log=log)
+        result = orch.run(small_azure.fresh_requests())
+        assert len(log.of_kind(EventKind.ARRIVAL)) == result.total
+        assert len(log.of_kind(EventKind.EXEC_END)) == result.total
+        assert len(log.of_kind(EventKind.EVICTION)) == result.evictions
+        provisions = len(log.of_kind(EventKind.PROVISION_START))
+        assert provisions == result.cold_starts_begun \
+            + result.prewarm_starts

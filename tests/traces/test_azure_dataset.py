@@ -1,0 +1,146 @@
+"""Tests for the real-Azure-dataset adapter (against fabricated CSVs)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.traces.azure_dataset import (DEFAULT_MEMORY_MB,
+                                        azure_dataset_trace, build_trace,
+                                        load_dataset)
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    """Fabricate a tiny dataset in the real schema: 3 functions, 2 apps."""
+    inv = tmp_path / "invocations.csv"
+    dur = tmp_path / "durations.csv"
+    mem = tmp_path / "memory.csv"
+
+    minutes = [str(m) for m in range(1, 1441)]
+    with open(inv, "w", newline="") as fh:
+        writer = csv.DictWriter(
+            fh, fieldnames=["HashOwner", "HashApp", "HashFunction",
+                            "Trigger"] + minutes)
+        writer.writeheader()
+
+        def row(app, func, trigger, counts):
+            base = {"HashOwner": "o1", "HashApp": app,
+                    "HashFunction": func, "Trigger": trigger}
+            base.update({m: "0" for m in minutes})
+            for minute, count in counts.items():
+                base[str(minute)] = str(count)
+            return base
+
+        # hot: 10 invocations/min for the first 30 minutes.
+        writer.writerow(row("appA", "hotfunc", "http",
+                            {m: 10 for m in range(1, 31)}))
+        # sparse: 2 invocations in the window, some outside.
+        writer.writerow(row("appA", "sparsefunc", "timer",
+                            {5: 1, 20: 1, 100: 7}))
+        # silent inside the window.
+        writer.writerow(row("appB", "latefunc", "queue", {200: 3}))
+        # no duration row -> must be dropped entirely.
+        writer.writerow(row("appB", "nodur", "http", {1: 5}))
+
+    with open(dur, "w", newline="") as fh:
+        writer = csv.DictWriter(
+            fh, fieldnames=["HashOwner", "HashApp", "HashFunction",
+                            "Average", "percentile_Average_50",
+                            "percentile_Average_75"])
+        writer.writeheader()
+        for func, avg, p50, p75 in (("hotfunc", 120, 100, 150),
+                                    ("sparsefunc", 900, 800, 1200),
+                                    ("latefunc", 50, 45, 60)):
+            writer.writerow({"HashOwner": "o1", "HashApp": "appA",
+                             "HashFunction": func, "Average": avg,
+                             "percentile_Average_50": p50,
+                             "percentile_Average_75": p75})
+
+    with open(mem, "w", newline="") as fh:
+        writer = csv.DictWriter(
+            fh, fieldnames=["HashOwner", "HashApp", "AverageAllocatedMb"])
+        writer.writeheader()
+        writer.writerow({"HashOwner": "o1", "HashApp": "appA",
+                         "AverageAllocatedMb": "256"})
+        # appB intentionally missing -> default memory.
+
+    return inv, dur, mem
+
+
+class TestLoad:
+    def test_join_drops_missing_durations(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        ids = {r.func_id for r in rows}
+        assert ids == {"hotfunc", "sparsefunc", "latefunc"}
+
+    def test_memory_join_with_default(self, dataset_dir):
+        rows = {r.func_id: r for r in load_dataset(*dataset_dir)}
+        assert rows["hotfunc"].memory_mb == 256.0
+        assert rows["latefunc"].memory_mb == DEFAULT_MEMORY_MB
+
+    def test_per_minute_counts(self, dataset_dir):
+        rows = {r.func_id: r for r in load_dataset(*dataset_dir)}
+        assert rows["hotfunc"].total_invocations == 300
+        assert rows["sparsefunc"].per_minute[4] == 1   # minute "5"
+
+
+class TestBuild:
+    def test_window_selection(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        trace = build_trace(rows, start_minute=0, duration_minutes=30)
+        funcs = {f.name for f in trace.functions}
+        # latefunc only fires at minute 200: excluded from the window.
+        assert len(funcs) == 2
+        assert trace.num_requests == 300 + 2
+
+    def test_arrivals_inside_window(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        trace = build_trace(rows, start_minute=0, duration_minutes=30)
+        assert all(0.0 <= r.arrival_ms <= 30 * 60_000.0
+                   for r in trace.requests)
+
+    def test_max_functions_keeps_busiest(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        trace = build_trace(rows, duration_minutes=30, max_functions=1)
+        assert len(trace.functions) == 1
+        assert trace.functions[0].name.startswith("az-hotfunc")
+
+    def test_durations_match_percentiles(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        trace = build_trace(rows, duration_minutes=30, seed=1)
+        hot = [r.exec_ms for r in trace.requests
+               if r.func.startswith("az-hotfunc")]
+        # Median of drawn executions tracks the published p50 (100 ms).
+        assert 60.0 <= float(np.median(hot)) <= 160.0
+
+    def test_cold_start_from_memory(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        trace = build_trace(rows, duration_minutes=30,
+                            cold_ms_per_mb=3.0)
+        hot = trace.spec_of([f.name for f in trace.functions
+                             if f.name.startswith("az-hotfunc")][0])
+        assert hot.cold_start_ms == pytest.approx(256.0 * 3.0)
+
+    def test_empty_window_raises(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        with pytest.raises(ValueError):
+            build_trace(rows, start_minute=1400, duration_minutes=5)
+
+    def test_one_shot_helper_and_replay(self, dataset_dir):
+        from repro.policies.lru import LRUPolicy
+        from repro.sim.config import SimulationConfig
+        from repro.sim.orchestrator import simulate
+        trace = azure_dataset_trace(*dataset_dir, duration_minutes=30)
+        result = simulate(trace.functions, trace.fresh_requests(),
+                          LRUPolicy(), SimulationConfig(capacity_gb=1.0))
+        assert result.total == trace.num_requests
+
+    def test_invalid_args(self, dataset_dir):
+        rows = load_dataset(*dataset_dir)
+        with pytest.raises(ValueError):
+            build_trace(rows, start_minute=-1)
+        with pytest.raises(ValueError):
+            build_trace(rows, duration_minutes=0)
+        with pytest.raises(ValueError):
+            build_trace(rows, burst_spread_ms=0.0)

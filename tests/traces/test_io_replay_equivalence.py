@@ -1,0 +1,41 @@
+"""Persisted traces replay identically to in-memory ones."""
+
+import pytest
+
+from repro.core.cidre import CIDREPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.orchestrator import Orchestrator
+from repro.traces.azure import azure_trace
+from repro.traces.io import load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return azure_trace(seed=31, total_requests=3_000, n_functions=25)
+
+
+class TestRoundTripEquivalence:
+    def test_simulation_identical_after_save_load(self, trace, tmp_path):
+        save_trace(trace, tmp_path)
+        loaded = load_trace(tmp_path, trace.name)
+        config = SimulationConfig(capacity_gb=3.0)
+        original = Orchestrator(trace.functions, CIDREPolicy(),
+                                config).run(trace.fresh_requests())
+        replayed = Orchestrator(loaded.functions, CIDREPolicy(),
+                                config).run(loaded.fresh_requests())
+        assert original.total == replayed.total
+        assert original.cold_start_ratio == replayed.cold_start_ratio
+        assert original.avg_overhead_ratio \
+            == pytest.approx(replayed.avg_overhead_ratio)
+        for a, b in zip(
+                sorted(original.requests, key=lambda r: r.req_id),
+                sorted(replayed.requests, key=lambda r: r.req_id)):
+            assert a.start_ms == pytest.approx(b.start_ms)
+            assert a.start_type is b.start_type
+
+    def test_float_precision_survives_csv(self, trace, tmp_path):
+        save_trace(trace, tmp_path)
+        loaded = load_trace(tmp_path, trace.name)
+        for a, b in zip(trace.requests, loaded.requests):
+            assert a.arrival_ms == b.arrival_ms   # repr() round-trip exact
+            assert a.exec_ms == b.exec_ms

@@ -1,0 +1,77 @@
+"""Calibration regression tests for the workload presets.
+
+These lock in the distributional facts the reproduction depends on (see
+DESIGN.md §5b): if a future edit to the generators drifts the presets out
+of the paper's regime, these fail before the benchmarks do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traces.alibaba import fc_production_trace, fc_trace
+from repro.traces.azure import azure_trace
+from repro.traces.stats import (concurrency_per_minute,
+                                execution_time_cv, workload_stats)
+
+
+@pytest.fixture(scope="module")
+def azure():
+    return azure_trace()
+
+
+@pytest.fixture(scope="module")
+def fc():
+    return fc_trace()
+
+
+class TestAzurePreset:
+    def test_scale(self, azure):
+        assert azure.num_functions == 110
+        assert 40_000 <= azure.num_requests <= 90_000
+        # Bursts may spill their spread past the nominal window end.
+        assert azure.duration_ms <= 30 * 60_000.0 + 1_000.0
+
+    def test_density_near_paper(self, azure):
+        """Per-function density ~1/3 of the paper's 1,800 req/fn/30min."""
+        density = azure.num_requests / azure.num_functions
+        assert 300 <= density <= 900
+
+    def test_exec_time_variance_matches_s2_6(self, azure):
+        """§2.6: most functions vary by roughly 25%."""
+        cvs = [cv for f, cv in execution_time_cv(azure).items()]
+        median_cv = float(np.median(cvs))
+        assert 0.15 <= median_cv <= 0.45
+
+    def test_cold_cost_proportional_to_memory(self, azure):
+        ratios = [f.cold_start_ms / f.memory_mb for f in azure.functions]
+        # Fig. 2 methodology: 1-3 ms/MB around the f=2 default.
+        assert 0.5 <= float(np.median(ratios)) <= 5.0
+
+
+class TestFCPreset:
+    def test_scale(self, fc):
+        assert fc.num_functions == 75
+        assert 30_000 <= fc.num_requests <= 70_000
+
+    def test_heavier_tail_than_azure(self, azure, fc):
+        az_c = concurrency_per_minute(azure)
+        fc_c = concurrency_per_minute(fc)
+        assert np.percentile(fc_c, 99) > np.percentile(az_c, 99)
+        # Fig. 3's headline: bursts in the thousands of reqs/min.
+        assert fc_c.max() > 2_000
+
+    def test_shorter_executions_than_azure(self, azure, fc):
+        az_med = float(np.median([r.exec_ms for r in azure.requests]))
+        fc_med = float(np.median([r.exec_ms for r in fc.requests]))
+        assert fc_med < az_med
+
+
+class TestProductionPreset:
+    def test_smoother_than_evaluation_trace(self, fc):
+        prod = fc_production_trace(total_requests=20_000)
+        prod_stats = workload_stats(prod)
+        fc_stats = workload_stats(fc)
+        # Production traffic: far lower peak-to-average ratio.
+        prod_ratio = prod_stats.rps_max / max(prod_stats.rps_avg, 1e-9)
+        fc_ratio = fc_stats.rps_max / max(fc_stats.rps_avg, 1e-9)
+        assert prod_ratio < fc_ratio

@@ -1,0 +1,141 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.alibaba import fc_trace
+from repro.traces.azure import azure_trace
+from repro.traces.synth import (ArrivalModel, FunctionPopulation,
+                                draw_burst_sizes, synth_functions,
+                                synth_trace, zipf_shares)
+
+
+class TestZipf:
+    def test_shares_sum_to_one(self):
+        shares = zipf_shares(100, 1.1)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_shares_decreasing(self):
+        shares = zipf_shares(50, 1.0)
+        assert all(shares[i] >= shares[i + 1] for i in range(49))
+
+    def test_alpha_zero_uniform(self):
+        shares = zipf_shares(10, 0.0)
+        assert np.allclose(shares, 0.1)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_shares(0, 1.0)
+
+
+class TestBurstSizes:
+    def test_sizes_positive_and_capped(self):
+        rng = np.random.default_rng(0)
+        model = ArrivalModel(max_burst=100)
+        sizes = draw_burst_sizes(rng, 10_000, model)
+        assert sizes.min() >= 1
+        assert sizes.max() <= 100
+
+    def test_heavy_tail_appears(self):
+        rng = np.random.default_rng(0)
+        model = ArrivalModel(heavy_tail_prob=0.1, heavy_tail_scale=50.0)
+        sizes = draw_burst_sizes(rng, 10_000, model)
+        # The Pareto tail should produce bursts far above the geometric
+        # mean of ~1.7.
+        assert (sizes > 30).mean() > 0.01
+
+    def test_empty_draw(self):
+        rng = np.random.default_rng(0)
+        assert len(draw_burst_sizes(rng, 0, ArrivalModel())) == 0
+
+
+class TestSynthFunctions:
+    def test_spec_fields_valid(self):
+        rng = np.random.default_rng(1)
+        specs = synth_functions(rng, 50, FunctionPopulation())
+        assert len(specs) == 50
+        assert len({s.name for s in specs}) == 50
+        for s in specs:
+            assert s.memory_mb > 0
+            assert s.cold_start_ms > 0
+            assert s.runtime
+
+    def test_memory_from_tiers(self):
+        rng = np.random.default_rng(1)
+        population = FunctionPopulation()
+        specs = synth_functions(rng, 200, population)
+        tiers = set(population.memory_tiers_mb)
+        assert all(s.memory_mb in tiers for s in specs)
+
+
+class TestSynthTrace:
+    def test_deterministic_from_seed(self):
+        a = azure_trace(seed=7, total_requests=2_000, n_functions=30)
+        b = azure_trace(seed=7, total_requests=2_000, n_functions=30)
+        assert a.num_requests == b.num_requests
+        assert all(x.func == y.func and x.arrival_ms == y.arrival_ms
+                   and x.exec_ms == y.exec_ms
+                   for x, y in zip(a.requests, b.requests))
+
+    def test_different_seed_differs(self):
+        a = azure_trace(seed=7, total_requests=2_000, n_functions=30)
+        b = azure_trace(seed=8, total_requests=2_000, n_functions=30)
+        assert any(x.arrival_ms != y.arrival_ms
+                   for x, y in zip(a.requests, b.requests))
+
+    def test_request_count_near_target(self):
+        trace = azure_trace(seed=1, total_requests=10_000, n_functions=50)
+        assert 0.5 * 10_000 <= trace.num_requests <= 2.0 * 10_000
+
+    def test_requests_sorted_and_in_range(self):
+        trace = fc_trace(seed=2, total_requests=3_000, n_functions=40,
+                         duration_ms=60_000.0)
+        arrivals = [r.arrival_ms for r in trace.requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= 0.0
+        assert all(r.exec_ms >= 1.0 for r in trace.requests)
+
+    def test_popularity_is_skewed(self):
+        trace = azure_trace(seed=3, total_requests=20_000, n_functions=100)
+        counts = {}
+        for r in trace.requests:
+            counts[r.func] = counts.get(r.func, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        top10 = sum(ranked[:10]) / sum(ranked)
+        assert top10 > 0.35   # top 10% of functions dominate
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            synth_trace("x", rng, 10, duration_ms=0.0, total_requests=100)
+        with pytest.raises(ValueError):
+            synth_trace("x", rng, 10, duration_ms=1e6, total_requests=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=2**31 - 1))
+    def test_any_seed_generates_valid_trace(self, seed):
+        trace = synth_trace("t", np.random.default_rng(seed),
+                            n_functions=10, duration_ms=300_000.0,
+                            total_requests=500)
+        known = {f.name for f in trace.functions}
+        assert all(r.func in known for r in trace.requests)
+        assert all(0 <= r.arrival_ms <= 300_000.0 + 1_000.0
+                   for r in trace.requests)
+
+
+class TestPresets:
+    def test_fc_has_higher_concurrency_tail(self):
+        from repro.traces.stats import concurrency_per_minute
+        az = azure_trace(seed=5, total_requests=20_000, n_functions=100)
+        fc = fc_trace(seed=5, total_requests=20_000, n_functions=100)
+        az_p99 = np.percentile(concurrency_per_minute(az), 99)
+        fc_p99 = np.percentile(concurrency_per_minute(fc), 99)
+        assert fc_p99 > az_p99
+
+    def test_fc_executions_shorter(self):
+        az = azure_trace(seed=5, total_requests=5_000, n_functions=50)
+        fc = fc_trace(seed=5, total_requests=5_000, n_functions=50)
+        az_med = np.median([r.exec_ms for r in az.requests])
+        fc_med = np.median([r.exec_ms for r in fc.requests])
+        assert fc_med < az_med

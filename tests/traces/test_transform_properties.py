@@ -1,0 +1,101 @@
+"""Property-based tests for trace transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.function import FunctionSpec
+from repro.sim.request import Request
+from repro.traces.schema import Trace
+from repro.traces.transforms import (scale_cold_start, scale_exec_time,
+                                     scale_iat)
+
+
+@st.composite
+def traces(draw):
+    n_funcs = draw(st.integers(min_value=1, max_value=5))
+    functions = [FunctionSpec(f"f{i}",
+                              memory_mb=draw(st.floats(1.0, 1024.0)),
+                              cold_start_ms=draw(st.floats(1.0, 5_000.0)))
+                 for i in range(n_funcs)]
+    n_reqs = draw(st.integers(min_value=1, max_value=40))
+    requests = [Request(f"f{draw(st.integers(0, n_funcs - 1))}",
+                        draw(st.floats(0.0, 1e6)),
+                        draw(st.floats(1.0, 1e4)))
+                for _ in range(n_reqs)]
+    return Trace("prop", functions, requests)
+
+
+factors = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+class TestScaleIat:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), factor=factors)
+    def test_preserves_count_and_order(self, trace, factor):
+        scaled = scale_iat(trace, factor)
+        assert scaled.num_requests == trace.num_requests
+        arrivals = [r.arrival_ms for r in scaled.requests]
+        assert arrivals == sorted(arrivals)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), factor=factors)
+    def test_duration_scales_linearly(self, trace, factor):
+        scaled = scale_iat(trace, factor)
+        assert scaled.duration_ms \
+            == pytest.approx(trace.duration_ms * factor, rel=1e-9,
+                             abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace=traces())
+    def test_identity_factor(self, trace):
+        scaled = scale_iat(trace, 1.0)
+        for a, b in zip(scaled.requests, trace.requests):
+            assert a.arrival_ms == pytest.approx(b.arrival_ms)
+
+
+class TestScaleExec:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), factor=factors)
+    def test_scales_every_exec(self, trace, factor):
+        scaled = scale_exec_time(trace, factor)
+        originals = sorted(r.exec_ms for r in trace.requests)
+        scaled_execs = sorted(r.exec_ms for r in scaled.requests)
+        for orig, new in zip(originals, scaled_execs):
+            assert new == pytest.approx(orig * factor)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace=traces(), factor=factors)
+    def test_arrivals_untouched(self, trace, factor):
+        scaled = scale_exec_time(trace, factor)
+        assert [r.arrival_ms for r in scaled.requests] \
+            == [r.arrival_ms for r in trace.requests]
+
+
+class TestScaleCold:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), factor=factors)
+    def test_scales_every_spec(self, trace, factor):
+        scaled = scale_cold_start(trace, factor)
+        for f in trace.functions:
+            assert scaled.spec_of(f.name).cold_start_ms \
+                == pytest.approx(f.cold_start_ms * factor)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace=traces(), factor=factors)
+    def test_original_untouched(self, trace, factor):
+        before = {f.name: f.cold_start_ms for f in trace.functions}
+        scale_cold_start(trace, factor)
+        for f in trace.functions:
+            assert f.cold_start_ms == before[f.name]
+
+
+class TestComposition:
+    @settings(max_examples=20, deadline=None)
+    @given(trace=traces(), f1=factors, f2=factors)
+    def test_iat_scaling_composes(self, trace, f1, f2):
+        once = scale_iat(scale_iat(trace, f1), f2)
+        direct = scale_iat(trace, f1 * f2)
+        for a, b in zip(once.requests, direct.requests):
+            assert a.arrival_ms == pytest.approx(b.arrival_ms, rel=1e-6,
+                                                 abs=1e-6)

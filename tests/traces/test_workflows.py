@@ -1,0 +1,101 @@
+"""Tests for the burst-parallel workflow generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces.workflows import (WorkflowSpec, WorkflowStage,
+                                    generate_job, mapreduce,
+                                    video_pipeline, workflow_trace)
+
+
+class TestSpecs:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowStage("s", fanout_min=5, fanout_max=2)
+        with pytest.raises(ValueError):
+            WorkflowStage("s", exec_median_ms=0.0)
+
+    def test_workflow_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowSpec("w", ())
+        with pytest.raises(ValueError):
+            WorkflowSpec("w", (WorkflowStage("a"), WorkflowStage("a")))
+
+    def test_function_specs_namespaced(self):
+        wf = video_pipeline("vid")
+        names = [f.name for f in wf.function_specs()]
+        assert names == ["vid-split", "vid-transcode", "vid-stitch"]
+        assert all(f.app == "vid" for f in wf.function_specs())
+
+
+class TestGenerateJob:
+    def test_stage_ordering(self):
+        rng = np.random.default_rng(0)
+        wf = video_pipeline()
+        reqs = generate_job(rng, wf, start_ms=1_000.0)
+        by_stage = {}
+        for r in reqs:
+            by_stage.setdefault(r.func, []).append(r)
+        split = by_stage["video-split"]
+        transcode = by_stage["video-transcode"]
+        stitch = by_stage["video-stitch"]
+        assert len(split) == 1 and len(stitch) == 1
+        assert 50 <= len(transcode) <= 400
+        # Stage k+1 starts only after stage k's slowest completion.
+        split_done = max(r.arrival_ms + r.exec_ms for r in split)
+        assert min(r.arrival_ms for r in transcode) >= split_done
+        transcode_done = max(r.arrival_ms + r.exec_ms for r in transcode)
+        assert stitch[0].arrival_ms >= transcode_done
+
+    def test_fanout_bounds_respected(self):
+        rng = np.random.default_rng(1)
+        wf = mapreduce(mappers=20, reducers=4)
+        for _ in range(10):
+            reqs = generate_job(rng, wf, 0.0)
+            maps = [r for r in reqs if r.func.endswith("-map")]
+            reds = [r for r in reqs if r.func.endswith("-reduce")]
+            assert 10 <= len(maps) <= 20
+            assert 2 <= len(reds) <= 4
+
+
+class TestWorkflowTrace:
+    def test_composition(self):
+        trace = workflow_trace([video_pipeline("v"), mapreduce("mr")],
+                               [3, 2], duration_ms=600_000.0, seed=2)
+        funcs = {f.name for f in trace.functions}
+        assert "v-transcode" in funcs and "mr-map" in funcs
+        assert trace.num_requests > 3 * 52   # at least the fan-outs
+
+    def test_deterministic(self):
+        a = workflow_trace([video_pipeline()], [3], 600_000.0, seed=7)
+        b = workflow_trace([video_pipeline()], [3], 600_000.0, seed=7)
+        assert a.num_requests == b.num_requests
+        assert all(x.arrival_ms == y.arrival_ms
+                   for x, y in zip(a.requests, b.requests))
+
+    def test_background_superimposed(self):
+        from repro.traces.azure import azure_trace
+        bg = azure_trace(seed=3, total_requests=1_000, n_functions=10)
+        trace = workflow_trace([video_pipeline()], [2], 600_000.0,
+                               background=bg)
+        assert trace.num_requests > bg.num_requests
+        assert len(trace.functions) == 3 + bg.num_functions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            workflow_trace([video_pipeline()], [1, 2], 1_000.0)
+        with pytest.raises(ValueError):
+            workflow_trace([video_pipeline()], [1], 0.0)
+
+    def test_replayable(self):
+        from repro.core.cidre import CIDREPolicy
+        from repro.sim.config import SimulationConfig
+        from repro.sim.orchestrator import simulate
+        trace = workflow_trace([mapreduce(mappers=10, reducers=2)], [3],
+                               300_000.0, seed=4)
+        result = simulate(trace.functions, trace.fresh_requests(),
+                          CIDREPolicy(),
+                          SimulationConfig(capacity_gb=8.0))
+        assert result.total == trace.num_requests
+        # Fan-outs produce concurrency: CIDRE uses delayed warm starts.
+        assert result.delayed_start_ratio > 0.0
