@@ -13,17 +13,24 @@ capacity grows.
 
 from __future__ import annotations
 
-from conftest import CAPACITIES_GB, DEFAULT_GB
+from conftest import CAPACITIES_GB, DEFAULT_GB, JOBS
 from repro.analysis.tables import render_table
-from repro.experiments.runner import capacity_sweep
-from repro.experiments.suites import FIG12_POLICIES, select
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.suites import FIG12_POLICIES
 from repro.sim.request import StartType
 
 BREAKDOWN = ("FaasCache", "IceBreaker", "CIDRE_BSS", "CIDRE")
 
 
 def _run(trace):
-    return capacity_sweep(trace, select(FIG12_POLICIES), CAPACITIES_GB)
+    # 11 policies x 5 capacities: the widest grid of the reproduction,
+    # fanned over REPRO_BENCH_JOBS worker processes (bit-identical to
+    # the serial capacity_sweep).
+    runner = ParallelRunner(jobs=JOBS)
+    results = runner.capacity_sweep(trace, FIG12_POLICIES, CAPACITIES_GB)
+    if runner.last_report is not None:
+        print(f"\n[fig12] {runner.last_report.render()}")
+    return results
 
 
 def _report(trace_name, results):

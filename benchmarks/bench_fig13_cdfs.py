@@ -9,18 +9,16 @@ on Azure — CIDRE shifts both distributions left, approaching Offline.
 
 from __future__ import annotations
 
-from conftest import DEFAULT_GB
+from conftest import DEFAULT_GB, run_sweep
 from repro.analysis.tables import render_cdf_series
-from repro.experiments.runner import run_one
-from repro.experiments.suites import FIG12_POLICIES, policy_factories
+from repro.experiments.suites import FIG12_POLICIES
 from repro.sim.config import SimulationConfig
 
 
 def _run(trace):
-    table = policy_factories()
     config = SimulationConfig(capacity_gb=DEFAULT_GB)
-    return {name: run_one(trace, table[name], config).result
-            for name in FIG12_POLICIES}
+    grid = run_sweep(trace, FIG12_POLICIES, [config])
+    return {name: grid[(name, config)] for name in FIG12_POLICIES}
 
 
 def _report(trace_name, results):

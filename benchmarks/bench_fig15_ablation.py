@@ -8,18 +8,16 @@ more.
 
 from __future__ import annotations
 
-from conftest import DEFAULT_GB
+from conftest import DEFAULT_GB, run_sweep
 from repro.analysis.tables import render_table
-from repro.experiments.runner import run_one
-from repro.experiments.suites import ABLATION_POLICIES, policy_factories
+from repro.experiments.suites import ABLATION_POLICIES
 from repro.sim.config import SimulationConfig
 
 
 def _run(trace):
-    table = policy_factories()
     config = SimulationConfig(capacity_gb=DEFAULT_GB)
-    return {name: run_one(trace, table[name], config).result
-            for name in ABLATION_POLICIES}
+    grid = run_sweep(trace, ABLATION_POLICIES, [config])
+    return {name: grid[(name, config)] for name in ABLATION_POLICIES}
 
 
 def test_fig15_ablation(benchmark, azure):

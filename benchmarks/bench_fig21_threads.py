@@ -8,16 +8,20 @@ and CIDRE stays ahead at every thread count.
 
 from __future__ import annotations
 
-from conftest import SMALL_GB, run_policy
+from conftest import SMALL_GB, run_sweep
 from repro.analysis.tables import render_table
+from repro.sim.config import SimulationConfig
 
 POLICIES = ("FaasCache", "CIDRE")
 THREADS = (1, 2, 4, 8)
 
 
 def _run(trace):
-    return {(name, n): run_policy(trace, name, SMALL_GB,
-                                  threads_per_container=n)
+    configs = {n: SimulationConfig(capacity_gb=SMALL_GB,
+                                   threads_per_container=n)
+               for n in THREADS}
+    grid = run_sweep(trace, POLICIES, list(configs.values()))
+    return {(name, n): grid[(name, configs[n])]
             for name in POLICIES for n in THREADS}
 
 

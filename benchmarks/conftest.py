@@ -7,6 +7,11 @@ tables are printed regardless and captured by pytest otherwise).
 Traces are generated once per session and cached. ``REPRO_BENCH_SCALE``
 (default ``1.0``) scales the request volume of every workload, so
 ``REPRO_BENCH_SCALE=0.25 pytest benchmarks/`` gives a fast smoke pass.
+``REPRO_BENCH_JOBS`` (default: CPU count) sets the worker-process count
+the grid-shaped benchmarks fan out over via
+:class:`repro.experiments.parallel.ParallelRunner`; ``1`` forces the
+serial path. Parallel and serial runs produce bit-identical results, so
+the shape assertions are unaffected.
 Note: the qualitative shape *assertions* are calibrated for the full-scale
 workloads; at small scales the memory-pressure regime changes and some
 may fail even though the tables still print — use reduced scales to
@@ -23,6 +28,7 @@ from repro.traces.alibaba import fc_trace
 from repro.traces.azure import azure_trace
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 1)))
 
 #: Fig. 12's cache sweep (GB).
 CAPACITIES_GB = (80.0, 100.0, 120.0, 140.0, 160.0)
@@ -67,3 +73,27 @@ def run_policy(trace, name, capacity_gb=DEFAULT_GB, **config_kwargs):
     from repro.sim.config import SimulationConfig
     config = SimulationConfig(capacity_gb=capacity_gb, **config_kwargs)
     return run_one(trace, policy_factories()[name], config).result
+
+
+def run_sweep(trace, names, configs):
+    """Run a (policy x config) grid through the shared ParallelRunner.
+
+    Returns ``{(policy_name, config): SimulationResult}`` — configs are
+    frozen dataclasses, so they key dicts directly. Honors
+    ``REPRO_BENCH_JOBS``; results are bit-identical to the serial path.
+    """
+    from repro.experiments.parallel import ParallelRunner
+    runner = ParallelRunner(jobs=JOBS)
+    results = runner.run_grid(trace, names, configs)
+    return {(r.policy_name, r.config): r.result for r in results}
+
+
+def sweep_capacities(trace, names, capacities_gb, **config_kwargs):
+    """Capacity-sweep variant of :func:`run_sweep`, keyed by
+    ``(policy_name, capacity_gb)``."""
+    from repro.experiments.parallel import ParallelRunner
+    runner = ParallelRunner(jobs=JOBS)
+    results = runner.capacity_sweep(trace, names, capacities_gb,
+                                    **config_kwargs)
+    return {(r.policy_name, r.config.capacity_gb): r.result
+            for r in results}

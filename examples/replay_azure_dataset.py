@@ -22,8 +22,8 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import (CIDREPolicy, FaasCachePolicy, SimulationConfig,
-                   simulate)
+from repro import SimulationConfig
+from repro.experiments.parallel import ParallelRunner
 from repro.traces.azure_dataset import azure_dataset_trace
 
 
@@ -87,14 +87,19 @@ def main() -> None:
     print(f"loaded {source}: {trace.num_functions} functions, "
           f"{trace.num_requests} requests in the 30-minute window\n")
 
-    config = SimulationConfig(capacity_gb=16.0)
-    for policy in (FaasCachePolicy(), CIDREPolicy()):
-        result = simulate(trace.functions, trace.fresh_requests(),
-                          policy, config)
-        print(f"{policy.name:<10} overhead={result.avg_overhead_ratio:.3f} "
+    # Both policies replay concurrently in worker processes; results are
+    # bit-identical to running them one after another in-process.
+    runner = ParallelRunner(jobs=2)
+    results = runner.run_grid(trace, ["FaasCache", "CIDRE"],
+                              [SimulationConfig(capacity_gb=16.0)])
+    for exp in results:
+        result = exp.result
+        print(f"{exp.policy_name:<10} "
+              f"overhead={result.avg_overhead_ratio:.3f} "
               f"cold={result.cold_start_ratio:.2f} "
               f"delayed={result.delayed_start_ratio:.2f} "
               f"avg wait={result.avg_wait_ms:,.0f} ms")
+    print(f"\n{runner.last_report.render()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a parallel smoke sweep.
+#
+# Runs the unit/integration/property test suite, then a tiny 2-policy x
+# 2-capacity sweep through the multiprocessing path (--jobs 2) and
+# checks it is bit-identical to the serial path (--jobs 1), so every PR
+# exercises the spawn/fork worker plumbing and the determinism
+# guarantee, not just the in-process code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== parallel smoke sweep (--jobs 2 vs --jobs 1) =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+common=(sweep --preset azure --requests 1500 --seed 3
+        --policies TTL,FaasCache --capacities 2,4 --quiet)
+python -m repro.cli "${common[@]}" --jobs 2 --out "$tmpdir/parallel.md"
+python -m repro.cli "${common[@]}" --jobs 1 --out "$tmpdir/serial.md"
+cmp "$tmpdir/parallel.md" "$tmpdir/serial.md"
+echo "parallel sweep matches serial bit-for-bit"

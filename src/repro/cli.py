@@ -13,6 +13,12 @@ Replay one policy::
 Compare the full Fig. 12 roster::
 
     cidre-sim compare --preset fc --capacity-gb 100
+
+Run a policy x capacity sweep across 4 worker processes with an on-disk
+result cache::
+
+    cidre-sim sweep --preset azure --policies TTL,FaasCache,CIDRE \
+        --capacities 80,100,120,160 --jobs 4 --cache-dir .sweep-cache
 """
 
 from __future__ import annotations
@@ -43,6 +49,15 @@ def _build_trace(args: argparse.Namespace) -> Trace:
     if args.preset == "azure":
         return azure_trace(**kwargs)
     return fc_trace(**kwargs)
+
+
+def _parse_capacities(spec: str) -> List[float]:
+    try:
+        return [float(c) for c in spec.split(",")]
+    except ValueError:
+        raise SystemExit(
+            f"invalid --capacities {spec!r}: expected comma-separated "
+            f"numbers, e.g. 80,100,160")
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
@@ -161,19 +176,19 @@ def cmd_whatif(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a policy/capacity grid and emit a markdown report."""
     from repro.analysis.report import experiment_report
-    from repro.experiments.runner import capacity_sweep
-    from repro.experiments.suites import policy_factories as factories
+    from repro.experiments.parallel import ParallelRunner
 
     trace = _build_trace(args)
-    table = factories()
+    table = policy_factories()
     names = (args.policies.split(",") if args.policies
              else ["FaasCache", "CIDRE_BSS", "CIDRE", "Offline"])
     unknown = [n for n in names if n not in table]
     if unknown:
         print(f"unknown policies: {unknown}", file=sys.stderr)
         return 2
-    capacities = [float(c) for c in args.capacities.split(",")]
-    results = capacity_sweep(trace, [table[n] for n in names], capacities)
+    capacities = _parse_capacities(args.capacities)
+    runner = ParallelRunner(jobs=args.jobs)
+    results = runner.capacity_sweep(trace, names, capacities)
     report = experiment_report(results, baseline=args.baseline,
                                title=f"Policy comparison on {trace.name}")
     if args.out:
@@ -182,6 +197,76 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(report)
+    return 0
+
+
+def _sweep_markdown(results, trace_name: str) -> str:
+    """Full-precision markdown of sweep summaries.
+
+    Values are written with ``repr`` so two runs are file-identical iff
+    their summaries are bit-identical — the CLI's determinism contract.
+    """
+    keys = ["avg_overhead_ratio", "cold_ratio", "warm_ratio",
+            "delayed_ratio", "avg_wait_ms", "avg_memory_mb"]
+    lines = [f"# Sweep results: {trace_name}", "",
+             "| policy | capacity_gb | " + " | ".join(keys) + " |",
+             "|" + "|".join("---" for _ in range(len(keys) + 2)) + "|"]
+    for res in results:
+        s = res.summary()
+        lines.append("| " + res.policy_name
+                     + f" | {res.config.capacity_gb!r} | "
+                     + " | ".join(repr(s[k]) for k in keys) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a parallel policy x capacity sweep with a timing report."""
+    from repro.experiments.parallel import ParallelRunner
+
+    trace = _build_trace(args)
+    table = policy_factories()
+    names = (args.policies.split(",") if args.policies
+             else ["TTL", "FaasCache", "CIDRE"])
+    unknown = [n for n in names if n not in table]
+    if unknown:
+        print(f"unknown policies: {unknown}", file=sys.stderr)
+        return 2
+    capacities = _parse_capacities(args.capacities)
+
+    def progress(done, total, cell):
+        status = "cached" if cell.cached else f"{cell.wall_s:.2f}s"
+        print(f"[{done}/{total}] {cell.policy_name} @ "
+              f"{cell.capacity_gb:g} GB ({status})", file=sys.stderr)
+
+    runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir,
+                            collect="summary",
+                            progress=None if args.quiet else progress)
+    results = runner.capacity_sweep(
+        trace, names, capacities, seed=args.seed,
+        workers=args.workers, threads_per_container=args.threads)
+
+    rows = []
+    for res in results:
+        s = res.summary()
+        rows.append([res.policy_name, res.config.capacity_gb,
+                     s["avg_overhead_ratio"], s["cold_ratio"],
+                     s["warm_ratio"], s["delayed_ratio"],
+                     s["avg_wait_ms"]])
+    print(render_table(
+        ["policy", "GB", "overhead", "cold", "warm", "delayed",
+         "wait_ms"],
+        rows, title=f"sweep: {trace.name} x {len(capacities)} "
+                    f"capacities x {len(names)} policies"))
+    report = runner.last_report
+    print(render_table(
+        ["policy", "GB", "cell time"], report.rows(),
+        title="per-cell wall clock"))
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(_sweep_markdown(results, trace.name))
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -233,7 +318,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument("--baseline", default="FaasCache")
     report.add_argument("--out", default=None,
                         help="write the markdown to this file")
+    report.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
     report.set_defaults(func=cmd_report)
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel policy x capacity sweep with timing")
+    _add_trace_args(sweep)
+    sweep.add_argument("--policies", default=None,
+                       help="comma-separated policy names "
+                            "(default TTL,FaasCache,CIDRE)")
+    sweep.add_argument("--capacities", default="80,100,120,160",
+                       help="comma-separated cache sizes in GB")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (1 = serial fallback; "
+                            "default: CPU count)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persist/reuse per-cell results here")
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--threads", type=int, default=1)
+    sweep.add_argument("--out", default=None,
+                       help="write full-precision markdown results here")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress on stderr")
+    sweep.set_defaults(func=cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,11 +1,19 @@
 """Experiment harness shared by benchmarks and examples."""
 
+from repro.experiments.parallel import (CellTiming, ParallelRunner,
+                                        SummarySimulationResult,
+                                        SweepReport, cache_key,
+                                        trace_digest)
 from repro.experiments.runner import (ExperimentResult, capacity_sweep,
-                                      run_grid, run_one)
+                                      grid_cells, run_grid, run_one)
 from repro.experiments.suites import (ABLATION_POLICIES, FIG12_POLICIES,
-                                      policy_factories, select)
+                                      policy_factories, register_policy,
+                                      select, unregister_policy)
 
 __all__ = [
-    "ABLATION_POLICIES", "ExperimentResult", "FIG12_POLICIES",
-    "capacity_sweep", "policy_factories", "run_grid", "run_one", "select",
+    "ABLATION_POLICIES", "CellTiming", "ExperimentResult",
+    "FIG12_POLICIES", "ParallelRunner", "SummarySimulationResult",
+    "SweepReport", "cache_key", "capacity_sweep", "grid_cells",
+    "policy_factories", "register_policy", "run_grid", "run_one",
+    "select", "trace_digest", "unregister_policy",
 ]

@@ -48,21 +48,41 @@ def run_one(trace: Trace, factory: PolicyFactory,
     return ExperimentResult(policy.name, trace.name, config, result)
 
 
+def grid_cells(factories: Sequence[PolicyFactory],
+               configs: Sequence[SimulationConfig]
+               ) -> List[tuple]:
+    """The documented cell order of :func:`run_grid`.
+
+    Cells are **config-major, policy-minor**: cell ``i`` is
+    ``(configs[i // len(factories)], factories[i % len(factories)])``.
+    Both the serial and the parallel runner emit results in exactly this
+    order, so grid outputs are stable across runner implementations and
+    worker counts.
+    """
+    return [(config, factory)
+            for config in configs for factory in factories]
+
+
 def run_grid(trace: Trace, factories: Sequence[PolicyFactory],
              configs: Sequence[SimulationConfig]
              ) -> List[ExperimentResult]:
-    """Cartesian product of policies x configs over one trace."""
-    results = []
-    for config in configs:
-        for factory in factories:
-            results.append(run_one(trace, factory, config))
-    return results
+    """Cartesian product of policies x configs over one trace.
+
+    Results are returned in the deterministic order defined by
+    :func:`grid_cells` (config-major, policy-minor).
+    """
+    return [run_one(trace, factory, config)
+            for config, factory in grid_cells(factories, configs)]
 
 
 def capacity_sweep(trace: Trace, factories: Sequence[PolicyFactory],
                    capacities_gb: Sequence[float],
                    **config_kwargs) -> List[ExperimentResult]:
-    """The Fig. 12 pattern: every policy at every cache size."""
+    """The Fig. 12 pattern: every policy at every cache size.
+
+    Result order follows :func:`run_grid`: capacity-major in the order
+    given, policy-minor in the order given.
+    """
     configs = [SimulationConfig(capacity_gb=gb, **config_kwargs)
                for gb in capacities_gb]
     return run_grid(trace, factories, configs)

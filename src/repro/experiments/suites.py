@@ -18,12 +18,45 @@ from repro.policies.offline import OfflinePolicy
 from repro.policies.rainbowcake import RainbowCakePolicy
 from repro.policies.ttl import TTLPolicy
 
+#: Runtime-registered extension policies (see :func:`register_policy`).
+_EXTRA_FACTORIES: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory,
+                    overwrite: bool = False) -> None:
+    """Register a custom policy factory under ``name``.
+
+    Registered names resolve through :func:`policy_factories` /
+    :func:`select` and are therefore usable from the experiment CLI and
+    the serial runner. The *parallel* runner resolves names inside its
+    worker processes, so runtime registrations are only visible there
+    under a ``fork`` start method (or with ``jobs=1``); under ``spawn``
+    register from a module imported at worker start-up instead.
+    """
+    if not overwrite and (name in _EXTRA_FACTORIES
+                          or name in policy_factories()):
+        raise KeyError(f"policy {name!r} is already registered")
+    _EXTRA_FACTORIES[name] = factory
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a runtime registration (no-op for built-in policies)."""
+    _EXTRA_FACTORIES.pop(name, None)
+
 
 def policy_factories() -> Dict[str, PolicyFactory]:
     """All named policies as trace-aware factories.
 
     The Offline oracle is the only one that actually inspects the trace.
+    Runtime registrations (:func:`register_policy`) are merged on top of
+    the built-in roster.
     """
+    table = _builtin_factories()
+    table.update(_EXTRA_FACTORIES)
+    return table
+
+
+def _builtin_factories() -> Dict[str, PolicyFactory]:
     return {
         "TTL": lambda trace: TTLPolicy(),
         "LRU": lambda trace: LRUPolicy(),

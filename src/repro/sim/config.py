@@ -9,6 +9,7 @@ intervals.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 MB_PER_GB = 1024.0
 
@@ -33,6 +34,14 @@ class SimulationConfig:
     dispatch:
         ``"single"`` (one logical cache) or ``"hash"`` (requests of one
         function stick to one worker) or ``"least-loaded"``.
+    seed:
+        Seed for the orchestrator's :class:`random.Random` instance,
+        available to stochastic policies via ``ctx.rng``. The core
+        simulator never draws from it, so replays stay deterministic
+        either way; ``None`` behaves like ``0``. The parallel experiment
+        runner derives a distinct per-cell seed from its base ``--seed``
+        so a sweep is reproducible cell-by-cell regardless of worker
+        count or scheduling order.
     """
 
     capacity_gb: float = 100.0
@@ -40,6 +49,7 @@ class SimulationConfig:
     threads_per_container: int = 1
     memory_sample_interval_ms: float = 1_000.0
     dispatch: str = "hash"
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.capacity_gb <= 0:
@@ -50,6 +60,8 @@ class SimulationConfig:
             raise ValueError("threads_per_container must be >= 1")
         if self.dispatch not in ("single", "hash", "least-loaded"):
             raise ValueError(f"unknown dispatch policy {self.dispatch!r}")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ValueError("seed must be an int or None")
 
     @property
     def capacity_mb(self) -> float:

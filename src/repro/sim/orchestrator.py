@@ -24,6 +24,7 @@ every other baseline differ only in the policy object plugged in.
 
 from __future__ import annotations
 
+import random
 import zlib
 from collections import deque
 from dataclasses import dataclass
@@ -85,6 +86,11 @@ class Orchestrator:
                  event_log: Optional["EventLog"] = None):
         self.config = config or SimulationConfig()
         self.policy = policy
+        #: Seeded RNG for stochastic policies (``ctx.rng``). The core
+        #: mechanism never draws from it, so runs are deterministic
+        #: functions of (trace, policy, config) with or without a seed.
+        self.rng = random.Random(
+            0 if self.config.seed is None else self.config.seed)
         self.sim = Simulator()
         self.metrics = MetricsCollector()
         self.event_log = event_log

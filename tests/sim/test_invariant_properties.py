@@ -1,0 +1,100 @@
+"""Property-based simulation invariants over random synthetic traces.
+
+Seeded stdlib ``random`` drives the trace parameters (no new deps);
+each sampled workload is replayed under TTL, FaasCache and CIDRE, and
+conservation laws that must hold for *every* (trace, policy, config)
+triple are asserted:
+
+* every request finishes exactly once;
+* warm + cold + delayed-warm starts sum to the request count;
+* committed memory never exceeds ``capacity_gb``;
+* time only moves forward: arrival <= start <= end for each request.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.cidre import CIDREPolicy
+from repro.policies.faascache import FaasCachePolicy
+from repro.policies.ttl import TTLPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import StartType
+from repro.traces.synth import ArrivalModel, synth_trace
+
+N_SAMPLES = 5
+POLICIES = {
+    "TTL": lambda: TTLPolicy(ttl_ms=20_000),
+    "FaasCache": FaasCachePolicy,
+    "CIDRE": CIDREPolicy,
+}
+
+
+def sample_case(rng: random.Random):
+    """One random (trace, config) pair from a seeded stdlib generator."""
+    trace_seed = rng.randrange(2**31)
+    n_functions = rng.randint(4, 12)
+    total_requests = rng.randint(300, 800)
+    duration_ms = rng.uniform(60_000.0, 180_000.0)
+    arrivals = ArrivalModel(
+        burst_size_p=rng.uniform(0.3, 0.8),
+        heavy_tail_prob=rng.uniform(0.0, 0.05),
+        burst_spread_ms=rng.uniform(50.0, 400.0),
+        steady_fraction=rng.uniform(0.1, 0.6),
+    )
+    trace = synth_trace(f"prop-{trace_seed}",
+                        np.random.default_rng(trace_seed),
+                        n_functions=n_functions,
+                        duration_ms=duration_ms,
+                        total_requests=total_requests,
+                        arrivals=arrivals)
+    # Keep a real chance of memory pressure: the floor is the largest
+    # single function footprint (the orchestrator rejects anything less).
+    floor_gb = max(f.memory_mb for f in trace.functions) / 1024.0
+    capacity_gb = max(rng.uniform(1.0, 4.0), floor_gb * rng.uniform(1.0, 2.0))
+    config = SimulationConfig(capacity_gb=capacity_gb,
+                              seed=rng.randrange(2**31))
+    return trace, config
+
+
+CASES = [sample_case(random.Random(1000 + i)) for i in range(N_SAMPLES)]
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_conservation_invariants(case_idx, policy_name):
+    trace, config = CASES[case_idx]
+    policy = POLICIES[policy_name]()
+    orchestrator = Orchestrator(trace.functions, policy, config)
+    result = orchestrator.run(trace.fresh_requests())
+
+    # Every request finishes exactly once.
+    assert result.total == trace.num_requests
+    assert all(r.completed for r in result.requests)
+    assert sorted(r.req_id for r in result.requests) \
+        == list(range(trace.num_requests))
+
+    # Start types partition the requests.
+    counted = sum(result.count(t) for t in
+                  (StartType.WARM, StartType.COLD, StartType.DELAYED))
+    assert counted == result.total
+
+    # Causality per request.
+    for r in result.requests:
+        assert r.arrival_ms <= r.start_ms <= r.end_ms
+        assert r.wait_ms >= 0.0
+
+    # Committed memory never exceeds the configured capacity
+    # (provisioning claims memory up front; REPLACE must make room
+    # before a container is admitted).
+    capacity_mb = config.capacity_mb
+    for sample in result.memory_samples:
+        assert sample.used_mb <= capacity_mb + 1e-6, (
+            f"{policy_name} oversubscribed: {sample.used_mb} MB "
+            f"> {capacity_mb} MB at t={sample.time_ms}")
+
+    # Final worker state is also within budget.
+    for worker in orchestrator.workers():
+        assert worker.used_mb <= config.per_worker_mb + 1e-6

@@ -96,6 +96,47 @@ class TestCLI:
         assert code == 0
 
 
+class TestSweepCLI:
+    ARGS = ["sweep", "--preset", "azure", "--requests", "1500",
+            "--seed", "3", "--policies", "TTL,FaasCache",
+            "--capacities", "2,4", "--quiet"]
+
+    def test_jobs1_serial_fallback(self, tmp_path, capsys):
+        out = tmp_path / "serial.md"
+        code = main(self.ARGS + ["--jobs", "1", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "per-cell wall clock" in stdout
+        assert "with 1 job(s)" in stdout
+        assert "| TTL |" in out.read_text()
+
+    def test_jobs2_bit_identical_to_serial(self, tmp_path, capsys):
+        serial_md = tmp_path / "serial.md"
+        parallel_md = tmp_path / "parallel.md"
+        assert main(self.ARGS + ["--jobs", "1",
+                                 "--out", str(serial_md)]) == 0
+        assert main(self.ARGS + ["--jobs", "2",
+                                 "--out", str(parallel_md)]) == 0
+        # Full-precision markdown: equality here means every summary
+        # float is bit-identical between the serial and parallel paths.
+        assert serial_md.read_text() == parallel_md.read_text()
+
+    def test_cache_dir_hits_on_second_run(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = self.ARGS + ["--jobs", "2", "--cache-dir", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 cached" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "4 cached" in second
+
+    def test_unknown_policy(self, capsys):
+        code = main(["sweep", "--preset", "azure", "--requests", "1500",
+                     "--policies", "Bogus", "--quiet"])
+        assert code == 2
+
+
 class TestCLIExtras:
     def test_stats_command(self, capsys):
         code = main(["stats", "--preset", "fc", "--requests", "1500"])
