@@ -1,0 +1,93 @@
+"""Replay throughput — events/sec for the state-indexed hot path.
+
+Unlike the figure benchmarks, this one measures the *simulator* rather
+than the policies: single-run wall-clock and events/sec over the named
+scenarios of :mod:`repro.experiments.throughput` (synthetic
+memory-pressure traces plus the unpressured Azure preset, across
+TTL/FaasCache/CIDRE). With ``--reference`` every cell is replayed twice
+— indexed and pre-index reference implementation — printing the speedup
+side by side; the two replays are asserted bit-identical on their
+headline outputs.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py \
+        --reference --out BENCH_throughput.json
+
+    # CI-style gate against the committed baseline:
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py \
+        --scenarios ci-smoke --check BENCH_throughput.json
+
+Under pytest (``pytest benchmarks/bench_replay_throughput.py``) the
+smoke scenario runs through the same code path with the bit-identity
+assertion enabled.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import throughput
+
+
+def _print_table(records) -> None:
+    from repro.analysis.tables import render_table
+
+    print(render_table(
+        ["scenario", "policy", "impl", "wall_s", "events/s", "req/s",
+         "cold", "evictions"],
+        [r.row() for r in records], title="replay throughput"))
+
+
+def test_replay_throughput_smoke(benchmark):
+    """CI-smoke scenario, indexed vs reference, bit-identical outputs."""
+    scenario = throughput.scenario_by_name("ci-smoke")
+    records = benchmark.pedantic(throughput.run_scenario,
+                                 args=(scenario,),
+                                 kwargs={"reference": True},
+                                 rounds=1, iterations=1)
+    _print_table(records)
+    assert all(r.events > 0 for r in records)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenarios", default=None,
+                        help="comma-separated scenario names "
+                             "(default: full suite)")
+    parser.add_argument("--reference", action="store_true",
+                        help="also time the pre-index reference "
+                             "implementations")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON payload here")
+    parser.add_argument("--check", default=None,
+                        help="fail if events/sec regresses more than "
+                             "--factor vs this baseline JSON")
+    parser.add_argument("--factor", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    records = []
+    payload = throughput.run_suite(names, reference=args.reference,
+                                   progress=records.append)
+    _print_table(records)
+    if args.out:
+        throughput.save_payload(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        failures = throughput.check_regression(
+            payload, throughput.load_payload(args.check),
+            factor=args.factor)
+        if failures:
+            print("throughput regression:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"throughput within {args.factor:g}x of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

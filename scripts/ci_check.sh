@@ -22,3 +22,9 @@ python -m repro.cli "${common[@]}" --jobs 2 --out "$tmpdir/parallel.md"
 python -m repro.cli "${common[@]}" --jobs 1 --out "$tmpdir/serial.md"
 cmp "$tmpdir/parallel.md" "$tmpdir/serial.md"
 echo "parallel sweep matches serial bit-for-bit"
+
+echo "== replay throughput smoke (ci-smoke vs committed baseline) =="
+# Gate on the committed trajectory point: fail if the smoke scenario's
+# events/sec drops below half of BENCH_throughput.json's recorded value.
+python -m repro.cli bench-throughput --scenarios ci-smoke \
+    --check BENCH_throughput.json --factor 2

@@ -91,8 +91,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     config = SimulationConfig(capacity_gb=args.capacity_gb,
                               workers=args.workers,
-                              threads_per_container=args.threads)
-    result = run_one(trace, table[args.policy], config)
+                              threads_per_container=args.threads,
+                              reference_impl=args.reference)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_one(trace, table[args.policy], config)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print(f"wrote profile to {args.profile_out}", file=sys.stderr)
+    else:
+        result = run_one(trace, table[args.policy], config)
     print(render_table(
         ["metric", "value"],
         sorted(result.summary().items()),
@@ -270,6 +285,51 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_throughput(args: argparse.Namespace) -> int:
+    """Time single-run replays; optionally gate on a committed baseline."""
+    from repro.experiments import throughput
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    try:
+        if names:
+            for name in names:
+                throughput.scenario_by_name(name)  # validate up front
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    rows: List[list] = []
+
+    def progress(record):
+        rows.append(record.row())
+        print(f"[bench] {record.scenario}/{record.policy} "
+              f"({'reference' if record.reference_impl else 'indexed'}): "
+              f"{record.wall_s:.2f}s, "
+              f"{record.events_per_sec:,.0f} events/s", file=sys.stderr)
+
+    payload = throughput.run_suite(names, reference=args.reference,
+                                   progress=progress)
+    print(render_table(
+        ["scenario", "policy", "impl", "wall_s", "events/s", "req/s",
+         "cold", "evictions"],
+        rows, title="replay throughput"))
+    if args.out:
+        throughput.save_payload(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        baseline = throughput.load_payload(args.check)
+        failures = throughput.check_regression(payload, baseline,
+                                               factor=args.factor)
+        if failures:
+            print(f"throughput regression vs {args.check} "
+                  f"(>{args.factor:g}x slower):", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"throughput within {args.factor:g}x of {args.check}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cidre-sim",
@@ -287,6 +347,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--capacity-gb", type=float, default=100.0)
     run.add_argument("--workers", type=int, default=1)
     run.add_argument("--threads", type=int, default=1)
+    run.add_argument("--profile", action="store_true",
+                     help="profile the replay with cProfile and print the "
+                          "top 25 cumulative entries to stderr")
+    run.add_argument("--profile-out", default=None,
+                     help="with --profile: also dump pstats data here")
+    run.add_argument("--reference", action="store_true",
+                     help="use the pre-index reference implementations "
+                          "(scan/sort hot path; bit-identical results)")
     run.set_defaults(func=cmd_run)
 
     cmp_ = sub.add_parser("compare", help="compare policies over a trace")
@@ -342,6 +410,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench-throughput",
+        help="time single-run replay throughput (events/sec)")
+    bench.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario names "
+                            "(default: the full suite)")
+    bench.add_argument("--reference", action="store_true",
+                       help="also time the pre-index reference "
+                            "implementation of every cell")
+    bench.add_argument("--out", default=None,
+                       help="write the JSON payload here "
+                            "(BENCH_throughput.json format)")
+    bench.add_argument("--check", default=None,
+                       help="fail if events/sec regresses more than "
+                            "--factor vs this baseline JSON")
+    bench.add_argument("--factor", type=float, default=2.0,
+                       help="allowed slowdown vs --check (default 2.0)")
+    bench.set_defaults(func=cmd_bench_throughput)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -47,6 +47,13 @@ class CIPEvictionMixin(OrchestrationPolicy):
         self._invocations: Dict[str, int] = {}
         #: First-arrival timestamp per function (t of Eq. 4).
         self._first_seen: Dict[str, float] = {}
+        #: Memo of the last Freq computation per function, keyed by the
+        #: inputs it depends on: (now, invocation count) -> freq. Exact —
+        #: identical inputs always yield the identical quotient — so the
+        #: cache cannot change any priority value. It collapses the many
+        #: same-timestamp recomputations a single make_room / serve batch
+        #: performs into one division per function.
+        self._freq_cache: Dict[str, tuple] = {}
 
     # -- function-level statistics ----------------------------------------
 
@@ -62,9 +69,14 @@ class CIPEvictionMixin(OrchestrationPolicy):
         count = self._invocations.get(func, 0)
         if count == 0:
             return 0.0
+        cached = self._freq_cache.get(func)
+        if cached is not None and cached[0] == now and cached[1] == count:
+            return cached[2]
         elapsed_min = max((now - self._first_seen[func]) / MINUTES_MS,
                           1.0 / MINUTES_MS)  # clamp to >= 1 ms of history
-        return count / elapsed_min
+        freq = count / elapsed_min
+        self._freq_cache[func] = (now, count, freq)
+        return freq
 
     # -- priority -----------------------------------------------------------
 

@@ -183,7 +183,7 @@ class CSSScalingMixin(OrchestrationPolicy):
         # after some request has already suffered a full T_p of waiting.
         if t_e is not None and self.live_delay_signal:
             waiting = self.ctx.outstanding_waiters(func)
-            busy = max(len(worker.busy_of(func)), 1)
+            busy = max(worker.busy_count(func), 1)
             projected = math.ceil((waiting + 1) / busy) * t_e
             t_d = projected if t_d is None else max(t_d, projected)
         if t_d is not None and t_p is not None and t_d > t_p:
@@ -219,7 +219,7 @@ class CSSScalingMixin(OrchestrationPolicy):
         """
         assert self.ctx is not None
         waiting = self.ctx.outstanding_waiters(request.func)
-        busy = len(worker.busy_of(request.func))
+        busy = worker.busy_count(request.func)
         return waiting >= busy
 
     # ------------------------------------------------------------------

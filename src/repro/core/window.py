@@ -11,6 +11,7 @@ window sizes of 5/10/15 minutes or unbounded in Fig. 18).
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Deque, Optional, Tuple
 
@@ -37,19 +38,46 @@ class SlidingWindow:
         if max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         self.horizon_ms = horizon_ms
-        self._samples: Deque[Tuple[float, float]] = deque(maxlen=max_samples)
+        self.max_samples = max_samples
+        self._samples: Deque[Tuple[float, float]] = deque()
+        # The in-window values are mirrored in an incrementally maintained
+        # sorted list (bisect insert on add, bisect delete on drop), so the
+        # per-arrival percentile calls of the CSS classifier cost a binary
+        # search instead of an O(n log n) sort. A sorted list is a pure
+        # function of the sample *multiset*, so its contents — and every
+        # percentile read off it — are bit-identical to sorting from
+        # scratch. The mean keeps a generation-cached sum recomputed in
+        # deque order (a running +=/-= sum would drift by ULPs from a
+        # fresh recomputation).
+        self._sorted_values: list = []
+        self._gen = 0
+        self._agg_gen = -1
+        self._agg_sum = 0.0
 
     def add(self, now: float, value: float) -> None:
         """Record ``value`` observed at time ``now``."""
+        if len(self._samples) >= self.max_samples:  # oldest-first cap
+            self._drop_oldest()
         self._samples.append((now, value))
+        insort(self._sorted_values, value)
+        self._gen += 1
+
+    def _drop_oldest(self) -> None:
+        _, value = self._samples.popleft()
+        index = bisect_left(self._sorted_values, value)
+        del self._sorted_values[index]
 
     def _prune(self, now: float) -> None:
         if self.horizon_ms is None:
             return
         cutoff = now - self.horizon_ms
         samples = self._samples
+        dropped = False
         while samples and samples[0][0] < cutoff:
-            samples.popleft()
+            self._drop_oldest()
+            dropped = True
+        if dropped:
+            self._gen += 1
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -70,16 +98,24 @@ class SlidingWindow:
         return self._samples[-1][1]
 
     def mean(self, now: float) -> Optional[float]:
-        values = self.values(now)
-        if not values:
+        self._prune(now)
+        if not self._samples:
             return None
-        return sum(values) / len(values)
+        if self._agg_gen != self._gen:
+            # Summed in deque order, exactly as an uncached recomputation.
+            self._agg_sum = sum(v for _, v in self._samples)
+            self._agg_gen = self._gen
+        return self._agg_sum / len(self._samples)
+
+    def _sorted(self, now: float) -> list:
+        self._prune(now)
+        return self._sorted_values
 
     def percentile(self, now: float, q: float) -> Optional[float]:
         """``q``-th percentile (0-100), linear interpolation."""
         if not 0 <= q <= 100:
             raise ValueError("q must be within [0, 100]")
-        values = sorted(self.values(now))
+        values = self._sorted(now)
         if not values:
             return None
         if len(values) == 1:

@@ -1,0 +1,271 @@
+"""Single-run replay throughput benchmarks (events/sec, wall-clock).
+
+The replay hot path (state indexes, lazy eviction ranking, O(1) engine
+liveness) is a performance feature, so it gets a performance harness: a
+small suite of named scenarios replayed single-run, timed with
+``time.perf_counter`` and reported as events/sec and requests/sec next to
+the headline simulation outputs (cold ratio, evictions) that prove the
+run exercised the intended regime.
+
+Scenarios
+---------
+``ci-smoke``
+    A few seconds of memory-pressured replay; cheap enough to run on
+    every CI pass (see ``scripts/ci_check.sh``).
+``pressure-20k`` / ``pressure-100k``
+    Synthetic memory-pressure traces (Azure-like generator at small cache
+    sizes). ``pressure-100k`` is the acceptance scenario of the indexing
+    work: ~100k requests over an hour at 8 GB, ~46k evictions under
+    CIDRE.
+``azure-preset``
+    The unpressured Azure preset — guards the common no-eviction regime
+    against regressions hiding behind eviction-path wins.
+
+Use
+---
+Programmatic: :func:`run_suite` returns a JSON-ready payload;
+:func:`check_regression` compares two payloads and reports scenarios
+whose events/sec fell below ``baseline / factor``. Command line:
+``cidre-sim bench-throughput`` or ``benchmarks/bench_replay_throughput.py``.
+The committed ``BENCH_throughput.json`` at the repo root is the reference
+trajectory point CI compares against.
+
+Timing notes: trace generation is excluded from the timed region; each
+policy replays fresh copies of the requests. ``reference=True`` replays
+every scenario a second time with ``SimulationConfig(reference_impl=True)``
+(the pre-index scan-and-sort implementations), giving a side-by-side
+speedup column — results are bit-identical by construction, and
+:func:`run_suite` asserts the summaries match.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SimulationConfig
+from repro.sim.orchestrator import Orchestrator
+from repro.traces.schema import Trace
+
+SCHEMA = "repro/bench-throughput/v1"
+
+THIRTY_MINUTES_MS = 30 * 60 * 1000.0
+ONE_HOUR_MS = 60 * 60 * 1000.0
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named (trace, capacity, policy roster) benchmark cell."""
+
+    name: str
+    description: str
+    preset: str = "azure"
+    seed: int = 1
+    total_requests: int = 20_000
+    duration_ms: Optional[float] = None
+    capacity_gb: float = 8.0
+    policies: Tuple[str, ...] = ("CIDRE",)
+
+    def build_trace(self) -> Trace:
+        if self.preset == "azure":
+            from repro.traces.azure import azure_trace as build
+        elif self.preset == "fc":
+            from repro.traces.alibaba import fc_trace as build
+        else:  # pragma: no cover - config error
+            raise ValueError(f"unknown preset {self.preset!r}")
+        kwargs = {"seed": self.seed, "total_requests": self.total_requests}
+        if self.duration_ms is not None:
+            kwargs["duration_ms"] = self.duration_ms
+        return build(**kwargs)
+
+    def config(self, reference_impl: bool = False) -> SimulationConfig:
+        return SimulationConfig(capacity_gb=self.capacity_gb,
+                                reference_impl=reference_impl)
+
+
+#: The standard suite, in run order.
+SCENARIOS: Tuple[BenchScenario, ...] = (
+    BenchScenario(
+        name="ci-smoke",
+        description="small memory-pressure replay for per-PR CI smoke",
+        seed=3, total_requests=6_000, capacity_gb=2.0,
+        policies=("CIDRE",)),
+    BenchScenario(
+        name="pressure-20k",
+        description="20k-request synthetic memory-pressure trace at 4 GB",
+        seed=7, total_requests=20_000, capacity_gb=4.0,
+        policies=("TTL", "FaasCache", "CIDRE")),
+    BenchScenario(
+        name="pressure-100k",
+        description="100k-request, 1-hour memory-pressure trace at 8 GB "
+                    "(acceptance scenario of the state-index work)",
+        seed=11, total_requests=100_000, duration_ms=ONE_HOUR_MS,
+        capacity_gb=8.0, policies=("CIDRE",)),
+    BenchScenario(
+        name="azure-preset",
+        description="unpressured Azure preset (no-eviction regime guard)",
+        seed=1, total_requests=20_000, capacity_gb=100.0,
+        policies=("TTL", "FaasCache", "CIDRE")),
+)
+
+
+def scenario_by_name(name: str) -> BenchScenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}; choose from: "
+                   f"{', '.join(s.name for s in SCENARIOS)}")
+
+
+@dataclass
+class BenchRecord:
+    """One timed replay."""
+
+    scenario: str
+    policy: str
+    reference_impl: bool
+    wall_s: float
+    events: int
+    events_per_sec: float
+    requests: int
+    requests_per_sec: float
+    cold_ratio: float
+    evictions: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+    def row(self) -> List[object]:
+        impl = "reference" if self.reference_impl else "indexed"
+        return [self.scenario, self.policy, impl,
+                f"{self.wall_s:.2f}", f"{self.events_per_sec:,.0f}",
+                f"{self.requests_per_sec:,.0f}",
+                f"{self.cold_ratio:.3f}", f"{self.evictions:.0f}"]
+
+
+def measure(trace: Trace, policy_name: str, config: SimulationConfig,
+            scenario_name: str = "") -> BenchRecord:
+    """Time one single-run replay of ``policy_name`` over ``trace``."""
+    from repro.experiments.suites import policy_factories
+
+    policy = policy_factories()[policy_name](trace)
+    orchestrator = Orchestrator(trace.functions, policy, config)
+    requests = trace.fresh_requests()
+    start = perf_counter()
+    result = orchestrator.run(requests)
+    wall_s = perf_counter() - start
+    events = orchestrator.sim.processed
+    summary = result.summary()
+    return BenchRecord(
+        scenario=scenario_name, policy=policy_name,
+        reference_impl=config.reference_impl,
+        wall_s=wall_s, events=events,
+        events_per_sec=events / wall_s if wall_s > 0 else 0.0,
+        requests=trace.num_requests,
+        requests_per_sec=trace.num_requests / wall_s if wall_s > 0 else 0.0,
+        cold_ratio=summary["cold_ratio"],
+        evictions=summary["evictions"])
+
+
+def run_scenario(scenario: BenchScenario,
+                 reference: bool = False) -> List[BenchRecord]:
+    """Run every policy of ``scenario``; optionally also the reference.
+
+    With ``reference=True`` each policy is replayed twice — indexed then
+    ``reference_impl=True`` — and their simulation outputs are asserted
+    equal (the bit-identity contract; see tests/sim/test_differential_golden
+    for the exhaustive version).
+    """
+    trace = scenario.build_trace()
+    records: List[BenchRecord] = []
+    for policy_name in scenario.policies:
+        fast = measure(trace, policy_name, scenario.config(),
+                       scenario_name=scenario.name)
+        records.append(fast)
+        if reference:
+            slow = measure(trace, policy_name,
+                           scenario.config(reference_impl=True),
+                           scenario_name=scenario.name)
+            records.append(slow)
+            if (fast.cold_ratio, fast.evictions) != (slow.cold_ratio,
+                                                     slow.evictions):
+                raise AssertionError(
+                    f"indexed vs reference diverged on "
+                    f"{scenario.name}/{policy_name}: "
+                    f"cold {fast.cold_ratio} vs {slow.cold_ratio}, "
+                    f"evictions {fast.evictions} vs {slow.evictions}")
+    return records
+
+
+def run_suite(names: Optional[Sequence[str]] = None,
+              reference: bool = False,
+              progress=None) -> Dict[str, object]:
+    """Run the named scenarios (default: all) into a JSON-ready payload."""
+    scenarios = (SCENARIOS if names is None
+                 else [scenario_by_name(n) for n in names])
+    payload: Dict[str, object] = {"schema": SCHEMA, "scenarios": {}}
+    for scenario in scenarios:
+        records = run_scenario(scenario, reference=reference)
+        payload["scenarios"][scenario.name] = {
+            "description": scenario.description,
+            "capacity_gb": scenario.capacity_gb,
+            "results": [r.to_dict() for r in records],
+        }
+        if progress is not None:
+            for record in records:
+                progress(record)
+    return payload
+
+
+def _indexed_results(payload: Dict[str, object]
+                     ) -> Dict[Tuple[str, str], Dict[str, object]]:
+    out = {}
+    for name, cell in payload.get("scenarios", {}).items():
+        for record in cell.get("results", ()):
+            if not record.get("reference_impl"):
+                out[(name, record["policy"])] = record
+    return out
+
+
+def check_regression(current: Dict[str, object],
+                     baseline: Dict[str, object],
+                     factor: float = 2.0) -> List[str]:
+    """Compare two payloads; report cells slower than baseline/factor.
+
+    Only (scenario, policy) cells present in *both* payloads are
+    compared, so a smoke run of one scenario can be checked against the
+    committed full-suite baseline. Returns a list of human-readable
+    failure strings (empty = pass).
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    failures: List[str] = []
+    base = _indexed_results(baseline)
+    for key, record in _indexed_results(current).items():
+        ref = base.get(key)
+        if ref is None:
+            continue
+        floor = ref["events_per_sec"] / factor
+        if record["events_per_sec"] < floor:
+            failures.append(
+                f"{key[0]}/{key[1]}: {record['events_per_sec']:,.0f} "
+                f"events/s < baseline {ref['events_per_sec']:,.0f} / "
+                f"{factor:g} = {floor:,.0f}")
+    return failures
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unexpected schema "
+                         f"{payload.get('schema')!r} (want {SCHEMA!r})")
+    return payload
+
+
+def save_payload(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

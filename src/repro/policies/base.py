@@ -28,6 +28,7 @@ facade handed to them at bind time.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Protocol
 
@@ -170,14 +171,44 @@ class OrchestrationPolicy:
         the paper's ``REPLACE`` subroutine. ``for_func`` names the function
         being provisioned so policies can avoid evicting its own reusable
         containers.
+
+        The fast path ranks victims through a min-heap keyed on
+        ``(priority, container_id)`` and pops only until enough memory is
+        freed, instead of fully sorting every candidate. This selects the
+        exact same victims in the exact same order as the retained
+        sort-based reference: the reference's ``sorted`` is stable over
+        candidates listed in ascending container id, so its tie-break *is*
+        ascending container id — precisely the heap's secondary key.
         """
         assert self.ctx is not None, "policy not bound"
         if worker.free_mb >= need_mb:
             return True
-        candidates = worker.evictable()
-        # Cheap infeasibility check before ranking anything: under a burst
+        if worker.naive:
+            return self._make_room_reference(worker, need_mb, now)
+        # O(1) infeasibility check before ranking anything: under a burst
         # most capacity is busy and reclaiming everything still would not
-        # fit — skip the priority sort entirely.
+        # fit — skip the priority ranking entirely.
+        if worker.free_mb + worker.evictable_mb() < need_mb:
+            return False
+        candidates = list(worker.evictable_items())
+        heap = [(priority, c.container_id, c)
+                for priority, c in zip(self.priorities(candidates, now),
+                                       candidates)]
+        heapq.heapify(heap)
+        freed = worker.free_mb
+        chosen: List["Container"] = []
+        while freed < need_mb:
+            _, _, victim = heapq.heappop(heap)
+            chosen.append(victim)
+            freed += victim.memory_mb
+        for victim in chosen:
+            self.ctx.evict(victim)
+        return True
+
+    def _make_room_reference(self, worker: "Worker", need_mb: float,
+                             now: float) -> bool:
+        """Pre-index REPLACE: full stable sort of every candidate."""
+        candidates = worker.evictable()
         if worker.free_mb + sum(c.memory_mb for c in candidates) < need_mb:
             return False
         ranked = sorted(zip(self.priorities(candidates, now), candidates),

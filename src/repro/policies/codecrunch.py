@@ -22,6 +22,7 @@ Model:
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Optional
 
 from repro.policies.faascache import FaasCachePolicy
@@ -67,12 +68,41 @@ class CodeCrunchPolicy(FaasCachePolicy):
         assert self.ctx is not None
         if worker.free_mb >= need_mb:
             return True
-        evictable_mb = sum(c.memory_mb for c in worker.evictable())
-        if worker.free_mb + evictable_mb < need_mb:
+        if worker.naive:
+            return self._make_room_reference(worker, need_mb, now, for_func)
+        if worker.free_mb + worker.evictable_mb() < need_mb:
             return False  # even evicting everything would not fit
         # Phase 1: compress idle (uncompressed) containers, lowest GDSF
         # priority first. Never compress containers of the function being
-        # provisioned — a request may be about to restore one.
+        # provisioned — a request may be about to restore one. Ranked
+        # through a (priority, container_id) min-heap popped only as far
+        # as needed — identical victims/order to the reference's stable
+        # sort over ascending-id candidates.
+        idle = [(self.priority(c, now), c.container_id, c)
+                for c in worker.evictable_items()
+                if c.is_idle and c.spec.name != for_func]
+        heapq.heapify(idle)
+        while idle and worker.free_mb < need_mb:
+            _, _, container = heapq.heappop(idle)
+            self.ctx.compress(container, self.compressed_fraction)
+        if worker.free_mb >= need_mb:
+            return True
+        # Phase 2: evict compressed containers outright.
+        squeezed = [(self.priority(c, now), c.container_id, c)
+                    for c in worker.evictable_items()]
+        heapq.heapify(squeezed)
+        while squeezed and worker.free_mb < need_mb:
+            _, _, container = heapq.heappop(squeezed)
+            self.ctx.evict(container)
+        return worker.free_mb >= need_mb
+
+    def _make_room_reference(self, worker: "Worker", need_mb: float,
+                             now: float, for_func: Optional[str]) -> bool:
+        """Pre-index implementation: full sort per phase."""
+        assert self.ctx is not None
+        evictable_mb = sum(c.memory_mb for c in worker.evictable())
+        if worker.free_mb + evictable_mb < need_mb:
+            return False
         idle = sorted(
             (c for c in worker.evictable()
              if c.is_idle and c.spec.name != for_func),
@@ -83,7 +113,6 @@ class CodeCrunchPolicy(FaasCachePolicy):
             self.ctx.compress(container, self.compressed_fraction)
         if worker.free_mb >= need_mb:
             return True
-        # Phase 2: evict compressed containers outright.
         squeezed = sorted((c for c in worker.evictable()),
                           key=lambda c: self.priority(c, now))
         for container in squeezed:

@@ -95,7 +95,7 @@ class EnsurePolicy(OrchestrationPolicy):
             for func in funcs:
                 target = self.target_pool(func, now)
                 warm = worker.warm_count(func) \
-                    + len(worker.provisioning_of(func))
+                    + worker.provisioning_count(func)
                 if warm < target:
                     self._scale_up(worker, func, target - warm, now)
                 elif warm > target:

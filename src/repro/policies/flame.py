@@ -75,7 +75,7 @@ class FlamePolicy(OrchestrationPolicy):
         cutoff = now - self.window_ms
         while arrivals and arrivals[0] < cutoff:
             arrivals.popleft()
-        busy = len(worker.busy_of(request.func))
+        busy = worker.busy_count(request.func)
         if busy > self._peak_busy.get(request.func, 0):
             self._peak_busy[request.func] = busy
 
@@ -116,7 +116,7 @@ class FlamePolicy(OrchestrationPolicy):
                     continue
                 # Trim hot functions' idle pools to peak demand + headroom.
                 allowed = self._peak_busy.get(func, 0) + self.headroom
-                excess = len(idle) + len(worker.busy_of(func)) - allowed
+                excess = len(idle) + worker.busy_count(func) - allowed
                 if excess > 0:
                     victims = sorted(idle, key=lambda c: c.last_used_ms)
                     for container in victims[:excess]:
@@ -125,5 +125,5 @@ class FlamePolicy(OrchestrationPolicy):
             # after bursts pass.
             for func in list(self._peak_busy):
                 self._peak_busy[func] = max(
-                    len(worker.busy_of(func)),
+                    worker.busy_count(func),
                     self._peak_busy[func] // 2)

@@ -184,6 +184,6 @@ class HybridHistogramPolicy(OrchestrationPolicy):
                                         <= when + 2
                                         * self.maintenance_interval_ms):
                     continue
-                if worker.of_func(func):
+                if worker.func_count(func):
                     continue  # already has a container (any state)
                 self.ctx.prewarm(self.ctx.spec_of(func), worker)

@@ -131,7 +131,7 @@ class IceBreakerPolicy(OrchestrationPolicy):
             self._maybe_prewarm(worker, func, now)
         # Also consider functions with history but no containers at all.
         for func, model in self._models.items():
-            if not worker.of_func(func):
+            if not worker.func_count(func):
                 self._maybe_prewarm(worker, func, now)
 
     def _maybe_prewarm(self, worker: "Worker", func: str,
@@ -144,7 +144,7 @@ class IceBreakerPolicy(OrchestrationPolicy):
         if predicted is None or not (now <= predicted <= now
                                      + self.horizon_ms):
             return
-        if worker.idle_of(func) or worker.provisioning_of(func):
+        if worker.idle_count(func) or worker.provisioning_count(func):
             return  # already warm or warming
         spec = self.ctx.spec_of(func)
         # Only prewarm when the container can plausibly be ready in time.

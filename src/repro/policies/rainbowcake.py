@@ -25,6 +25,7 @@ RainbowCake's histogram-sized per-layer keep-alive windows.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -151,7 +152,10 @@ class RainbowCakePolicy(OrchestrationPolicy):
             self._sync_reservation(worker)
         if worker.free_mb >= need_mb:
             return True
-        victim_mb = sum(c.memory_mb for c in worker.evictable())
+        if worker.naive:
+            victim_mb = sum(c.memory_mb for c in worker.evictable())
+        else:
+            victim_mb = worker.evictable_mb()
         if worker.free_mb + victim_mb < need_mb:
             return False  # even full eviction would not fit
         # Then decay idle containers, oldest first. Decay keeps shareable
@@ -160,12 +164,25 @@ class RainbowCakePolicy(OrchestrationPolicy):
         # first, so more containers decay, but later cold starts get
         # cheaper. The pool shrink above reclaims layers when memory truly
         # runs out.
-        victims = sorted(worker.evictable(),
-                         key=lambda c: self.priority(c, now))
-        for victim in victims:
-            self._decay(victim, worker, now, keep_layers=True)
-            if worker.free_mb >= need_mb:
-                return True
+        if worker.naive:
+            victims = sorted(worker.evictable(),
+                             key=lambda c: self.priority(c, now))
+            for victim in victims:
+                self._decay(victim, worker, now, keep_layers=True)
+                if worker.free_mb >= need_mb:
+                    return True
+        else:
+            # (priority, container_id) min-heap popped as far as needed —
+            # same victims/order as the reference's stable sort over
+            # ascending-id candidates.
+            ranked = [(self.priority(c, now), c.container_id, c)
+                      for c in worker.evictable_items()]
+            heapq.heapify(ranked)
+            while ranked:
+                _, _, victim = heapq.heappop(ranked)
+                self._decay(victim, worker, now, keep_layers=True)
+                if worker.free_mb >= need_mb:
+                    return True
         # Last resort: give back pooled layers kept during this pass.
         while worker.free_mb < need_mb and pool.layers:
             pool.drop_oldest()

@@ -42,6 +42,12 @@ class SimulationConfig:
         runner derives a distinct per-cell seed from its base ``--seed``
         so a sweep is reproducible cell-by-cell regardless of worker
         count or scheduling order.
+    reference_impl:
+        Run with the naive scanning reference implementations (full-heap
+        liveness scans, per-call container list rebuilding, sort-based
+        eviction ranking) instead of the incrementally maintained indexes.
+        Results are bit-identical either way — the flag exists for the
+        differential tests and for benchmarking the index speedup.
     """
 
     capacity_gb: float = 100.0
@@ -50,6 +56,7 @@ class SimulationConfig:
     memory_sample_interval_ms: float = 1_000.0
     dispatch: str = "hash"
     seed: Optional[int] = None
+    reference_impl: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity_gb <= 0:

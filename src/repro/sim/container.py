@@ -15,6 +15,12 @@ A container moves through the lifecycle::
 
 Containers also carry the per-container bookkeeping used by priority-based
 keep-alive policies (GDSF's ``clock``/``freq``, CIDRE's CIP clock).
+
+Every transition that changes the state or the slot occupancy notifies the
+hosting :class:`~repro.sim.worker.Worker` (when attached) so the worker's
+per-function state indexes stay incrementally consistent — transitions are
+the *only* place container state may legally change once a container is
+hosted.
 """
 
 from __future__ import annotations
@@ -109,44 +115,63 @@ class Container:
         return self.spec.memory_mb * self.compressed_mem_fraction
 
     # ------------------------------------------------------------------
-    # Transitions (invoked by the orchestrator; they only flip local state)
+    # Index notification
+
+    def _reindex(self, old_state: ContainerState, old_mb: float) -> None:
+        """Tell the hosting worker this container changed state/occupancy."""
+        if self.worker is not None:
+            self.worker._on_container_event(self, old_state, old_mb)
+
+    # ------------------------------------------------------------------
+    # Transitions (invoked by the orchestrator; they flip local state and
+    # notify the hosting worker's indexes)
 
     def mark_ready(self, now: float) -> None:
         if self.state is not ContainerState.PROVISIONING:
             raise RuntimeError(f"mark_ready in state {self.state}")
+        old = self.state
         self.state = ContainerState.IDLE
         self.ready_ms = now
         self.last_idle_ms = now
+        self._reindex(old, self.memory_mb)
 
     def start_request(self, request: "Request", now: float) -> None:
         if self.free_slots <= 0:
             raise RuntimeError("no free execution slot")
+        old = self.state
         self.active.append(request)
         self.state = ContainerState.BUSY
         self.last_used_ms = now
         self.reuse_count += 1
         self.served_any = True
+        self._reindex(old, self.memory_mb)
 
     def finish_request(self, request: "Request", now: float) -> None:
+        old = self.state
         self.active.remove(request)
         self.last_used_ms = now
         if not self.active:
             self.state = ContainerState.IDLE
             self.last_idle_ms = now
+        self._reindex(old, self.memory_mb)
 
     def compress(self, mem_fraction: float) -> None:
         if self.state is not ContainerState.IDLE:
             raise RuntimeError(f"compress in state {self.state}")
         if not 0 < mem_fraction <= 1:
             raise ValueError("mem_fraction must be in (0, 1]")
+        old, old_mb = self.state, self.memory_mb
         self.state = ContainerState.COMPRESSED
         self.compressed_mem_fraction = mem_fraction
+        self._reindex(old, old_mb)
 
     def decompress(self) -> None:
         if self.state is not ContainerState.COMPRESSED:
             raise RuntimeError(f"decompress in state {self.state}")
+        old, old_mb = self.state, self.memory_mb
         self.state = ContainerState.IDLE
         self.compressed_mem_fraction = 1.0
+        self._reindex(old, old_mb)
 
     def begin_restore(self, now: float) -> None:
         """Start restoring a compressed container (CodeCrunch reuse path).
@@ -157,15 +182,33 @@ class Container:
         """
         if self.state is not ContainerState.COMPRESSED:
             raise RuntimeError(f"begin_restore in state {self.state}")
+        old, old_mb = self.state, self.memory_mb
         self.state = ContainerState.PROVISIONING
         self.compressed_mem_fraction = 1.0
         self.created_ms = now
         self.ready_ms = None
+        self._reindex(old, old_mb)
+
+    def abort_restore(self, mem_fraction: float) -> None:
+        """Undo :meth:`begin_restore` when memory could not be freed.
+
+        Returns the container to COMPRESSED at its previous footprint
+        fraction, keeping the worker indexes consistent (the restore path
+        must not mutate ``state`` directly).
+        """
+        if self.state is not ContainerState.PROVISIONING:
+            raise RuntimeError(f"abort_restore in state {self.state}")
+        old, old_mb = self.state, self.memory_mb
+        self.state = ContainerState.COMPRESSED
+        self.compressed_mem_fraction = mem_fraction
+        self._reindex(old, old_mb)
 
     def mark_evicted(self) -> None:
         if self.state is ContainerState.BUSY:
             raise RuntimeError("cannot evict a busy container")
+        old, old_mb = self.state, self.memory_mb
         self.state = ContainerState.EVICTED
+        self._reindex(old, old_mb)
 
     # ------------------------------------------------------------------
 

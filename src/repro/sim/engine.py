@@ -10,6 +10,15 @@ Time is measured in **milliseconds** of virtual time throughout the library.
 Determinism: events that fire at the same timestamp are executed in the order
 they were scheduled (a monotonically increasing sequence number breaks ties),
 so a simulation with the same inputs always produces the same outputs.
+
+Liveness bookkeeping: the simulator keeps live counters of queued events —
+total non-cancelled (:meth:`Simulator.pending`) and non-cancelled
+*non-periodic* ones (``_has_real_events``) — updated on push, cancel and pop.
+Both queries are therefore O(1) instead of O(heap); without the counters a
+periodic tick (memory sampling, policy maintenance) over a trace whose
+arrivals are all scheduled up front degrades to a quadratic scan. The
+counter-free scanning implementations are retained behind ``naive=True`` for
+differential testing.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ class Event:
     O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., Any], args: tuple):
@@ -37,13 +46,20 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing. Safe to call multiple times."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""
@@ -53,6 +69,10 @@ class Event:
 
 class Simulator:
     """A deterministic discrete-event simulator.
+
+    ``naive=True`` switches :meth:`pending` and ``_has_real_events`` back to
+    full-heap scans (the pre-index reference behaviour) while the counters
+    keep being maintained, so the two implementations can be compared.
 
     Example
     -------
@@ -67,11 +87,22 @@ class Simulator:
     10.0
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, naive: bool = False):
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        # Heap entries are (time, seq, Event) tuples: ordering is
+        # resolved by C-level tuple comparison (seq is unique, so the
+        # Event itself is never compared), which keeps the per-event
+        # heap cost free of Python-level __lt__ calls.
+        self._heap: list = []
         self._seq = itertools.count()
         self._running = False
+        self.naive = naive
+        #: Non-cancelled events still queued.
+        self._live = 0
+        #: Non-cancelled, non-periodic ("real") events still queued.
+        self._real = 0
+        #: Events executed so far (throughput accounting).
+        self.processed = 0
 
     @property
     def now(self) -> float:
@@ -92,7 +123,11 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time} before now={self._now}")
         event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        event._sim = self
+        heapq.heappush(self._heap, (time, event.seq, event))
+        self._live += 1
+        if not isinstance(callback, _Periodic):
+            self._real += 1
         return event
 
     def every(self, interval: float, callback: Callable[..., Any],
@@ -113,8 +148,16 @@ class Simulator:
         return handle
 
     def pending(self) -> int:
-        """Number of (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of (non-cancelled) events still queued. O(1)."""
+        if self.naive:
+            return sum(1 for _, _, e in self._heap if not e.cancelled)
+        return self._live
+
+    def _on_cancel(self, event: Event) -> None:
+        """Counter bookkeeping for a freshly cancelled queued event."""
+        self._live -= 1
+        if not isinstance(event.callback, _Periodic):
+            self._real -= 1
 
     def run(self, until: Optional[float] = None) -> None:
         """Run events until the heap drains or virtual time passes ``until``.
@@ -126,24 +169,46 @@ class Simulator:
         self._running = True
         try:
             while self._heap:
-                event = heapq.heappop(self._heap)
+                entry = heapq.heappop(self._heap)
+                event = entry[2]
                 if event.cancelled:
+                    # Counters were adjusted when cancel() ran.
                     continue
                 if until is not None and event.time > until:
-                    # Put it back: the caller may resume later.
-                    heapq.heappush(self._heap, event)
+                    # Put it back: the caller may resume later. The event
+                    # stays queued, so the counters are untouched.
+                    heapq.heappush(self._heap, entry)
                     self._now = until
                     return
                 if event.time < self._now:  # pragma: no cover - invariant
                     raise RuntimeError("event time went backwards")
+                self._live -= 1
+                if not isinstance(event.callback, _Periodic):
+                    self._real -= 1
+                # Detach so a late cancel() of an already-fired event (e.g.
+                # a periodic handle cancelled after its last tick) cannot
+                # decrement the counters a second time.
+                event._sim = None
                 self._now = event.time
+                self.processed += 1
                 event.callback(*event.args)
         finally:
             self._running = False
 
     def _has_real_events(self) -> bool:
-        return any(not e.cancelled and not isinstance(e.callback, _Periodic)
-                   for e in self._heap)
+        if self.naive:
+            return any(not e.cancelled
+                       and not isinstance(e.callback, _Periodic)
+                       for _, _, e in self._heap)
+        return self._real > 0
+
+    def _scan_counts(self) -> tuple:
+        """(live, real) recomputed by scanning — test/debug cross-check."""
+        live = sum(1 for _, _, e in self._heap if not e.cancelled)
+        real = sum(1 for _, _, e in self._heap
+                   if not e.cancelled
+                   and not isinstance(e.callback, _Periodic))
+        return live, real
 
 
 class _Periodic:

@@ -55,6 +55,23 @@ class _Waiter:
     served: bool = False
 
 
+class _ClusterUsage:
+    """Change signal for cluster-wide committed memory.
+
+    Each :class:`~repro.sim.worker.Worker` raises ``dirty`` whenever its
+    ``used_mb`` changes; the periodic memory sampler then re-sums the
+    workers only on ticks where something actually moved and serves a
+    cached total otherwise. The cache holds the *same* worker-order sum as
+    the naive per-tick recomputation (never a delta-accumulated float), so
+    sampled values are bit-identical between the two modes.
+    """
+
+    __slots__ = ("dirty",)
+
+    def __init__(self) -> None:
+        self.dirty = True
+
+
 @dataclass
 class _PendingProvision:
     """A provision that could not claim memory yet."""
@@ -91,12 +108,17 @@ class Orchestrator:
         #: functions of (trace, policy, config) with or without a seed.
         self.rng = random.Random(
             0 if self.config.seed is None else self.config.seed)
-        self.sim = Simulator()
+        #: Reference (scanning) implementations everywhere when True.
+        self._naive = self.config.reference_impl
+        self.sim = Simulator(naive=self._naive)
         self.metrics = MetricsCollector()
         self.event_log = event_log
         self.specs: Dict[str, FunctionSpec] = {f.name: f for f in functions}
+        self._usage = _ClusterUsage()
+        self._used_mb_cache = 0.0
         self._workers: List[Worker] = [
-            Worker(i, self.config.per_worker_mb)
+            Worker(i, self.config.per_worker_mb, naive=self._naive,
+                   usage=self._usage)
             for i in range(self.config.workers)
         ]
         for spec in self.specs.values():
@@ -136,7 +158,12 @@ class Orchestrator:
         """Containers of ``func`` being provisioned *or* waiting for memory
         to start provisioning. The scaling policies use this to avoid
         re-provisioning for a backlog that is already covered."""
-        started = sum(len(w.provisioning_of(func)) for w in self._workers)
+        if self._naive:
+            started = sum(len(w.provisioning_of(func))
+                          for w in self._workers)
+        else:
+            started = sum(w.provisioning_count(func)
+                          for w in self._workers)
         return started + self._pending_by_func.get(func, 0)
 
     def speculate_for(self, func: str) -> bool:
@@ -171,6 +198,9 @@ class Orchestrator:
         if container.speculative and not container.served_any:
             self.metrics.wasted_cold_starts += 1
         worker.remove(container)
+        # Drop any bounded-queue commitments against the dead container —
+        # the waiters themselves stay in their function FIFO.
+        self._committed.pop(container.container_id, None)
         self.metrics.evictions += 1
         self._log(EventKind.EVICTION, container.spec.name,
                   container_id=container.container_id)
@@ -264,8 +294,12 @@ class Orchestrator:
         if decision.action is not ScalingAction.QUEUE:
             return decision
         func = request.func
-        has_supply = (bool(worker.busy_of(func))
-                      or bool(worker.provisioning_of(func)))
+        if self._naive:
+            has_supply = (bool(worker.busy_of(func))
+                          or bool(worker.provisioning_of(func)))
+        else:
+            has_supply = (worker.busy_count(func) > 0
+                          or worker.provisioning_count(func) > 0)
         if not has_supply:
             return ScalingDecision.cold()
         if decision.target is not None and not decision.target.is_busy:
@@ -325,9 +359,7 @@ class Orchestrator:
         container.begin_restore(now)  # not evictable while we make room
         if not self.policy.make_room(worker, delta, now,
                                      for_func=request.func):
-            container.state = ContainerState.COMPRESSED
-            container.compressed_mem_fraction = \
-                old_mb / container.spec.memory_mb
+            container.abort_restore(old_mb / container.spec.memory_mb)
             return False
         worker.recharge(container, old_mb)
         self._log(EventKind.RESTORE_START, request.func,
@@ -372,7 +404,25 @@ class Orchestrator:
                start_type: StartType) -> None:
         waiter.served = True
         self._unserved[waiter.request.func] -= 1
+        if (waiter.committed is not None
+                and waiter.committed is not container):
+            # Served elsewhere: trim dead references from the ends of the
+            # committed deque so long bounded-queue runs do not accumulate
+            # served waiters (popping served entries never changes what
+            # ``_next_waiter_for`` returns — it skips them anyway).
+            self._trim_committed(waiter.committed.container_id)
         self._start_exec(container, waiter.request, start_type)
+
+    def _trim_committed(self, container_id: int) -> None:
+        queue = self._committed.get(container_id)
+        if queue is None:
+            return
+        while queue and queue[0].served:
+            queue.popleft()
+        while queue and queue[-1].served:
+            queue.pop()
+        if not queue:
+            del self._committed[container_id]
 
     def _start_exec(self, container: Container, request: Request,
                     start_type: StartType) -> None:
@@ -419,11 +469,12 @@ class Orchestrator:
     def _next_waiter_for(self, container: Container) -> Optional[_Waiter]:
         """Oldest unserved waiter this vacant container may serve."""
         committed = self._committed.get(container.container_id)
-        if committed:
+        if committed is not None:
             while committed:
                 waiter = committed.popleft()
                 if not waiter.served:
                     return waiter
+            del self._committed[container.container_id]
         return self._next_unbound_waiter(container.spec.name)
 
     def _next_unbound_waiter(self, func: str) -> Optional[_Waiter]:
@@ -507,7 +558,14 @@ class Orchestrator:
         return min(self._workers, key=lambda w: w.used_mb)
 
     def _sample_memory(self) -> None:
-        used = sum(w.used_mb for w in self._workers)
+        if self._naive:
+            used = sum(w.used_mb for w in self._workers)
+        else:
+            if self._usage.dirty:
+                self._used_mb_cache = sum(w.used_mb
+                                          for w in self._workers)
+                self._usage.dirty = False
+            used = self._used_mb_cache
         self.metrics.record_memory(self.sim.now, used)
 
     def _run_maintenance(self) -> None:

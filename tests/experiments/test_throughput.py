@@ -1,0 +1,105 @@
+"""Unit tests for the replay-throughput benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import throughput
+from repro.traces.synth import synth_trace
+
+
+def tiny_trace():
+    return synth_trace("tiny", np.random.default_rng(9), n_functions=3,
+                       total_requests=120, duration_ms=30_000.0)
+
+
+def payload_with(records):
+    return {"schema": throughput.SCHEMA,
+            "scenarios": {"s": {"results": records}}}
+
+
+def record(policy, events_per_sec, reference=False):
+    return {"policy": policy, "events_per_sec": events_per_sec,
+            "reference_impl": reference}
+
+
+class TestCheckRegression:
+    def test_passes_within_factor(self):
+        current = payload_with([record("CIDRE", 600.0)])
+        baseline = payload_with([record("CIDRE", 1000.0)])
+        assert throughput.check_regression(current, baseline, 2.0) == []
+
+    def test_fails_beyond_factor(self):
+        current = payload_with([record("CIDRE", 400.0)])
+        baseline = payload_with([record("CIDRE", 1000.0)])
+        failures = throughput.check_regression(current, baseline, 2.0)
+        assert len(failures) == 1
+        assert "s/CIDRE" in failures[0]
+
+    def test_ignores_cells_missing_from_baseline(self):
+        current = payload_with([record("CIDRE", 1.0)])
+        baseline = payload_with([record("TTL", 1000.0)])
+        assert throughput.check_regression(current, baseline, 2.0) == []
+
+    def test_reference_records_not_compared(self):
+        current = payload_with([record("CIDRE", 1.0, reference=True)])
+        baseline = payload_with([record("CIDRE", 1000.0)])
+        assert throughput.check_regression(current, baseline, 2.0) == []
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            throughput.check_regression(payload_with([]), payload_with([]),
+                                        0.0)
+
+
+def test_scenario_by_name_unknown():
+    with pytest.raises(KeyError):
+        throughput.scenario_by_name("no-such-scenario")
+
+
+def test_scenario_names_unique():
+    names = [s.name for s in throughput.SCENARIOS]
+    assert len(names) == len(set(names))
+
+
+def test_payload_round_trip(tmp_path):
+    path = str(tmp_path / "bench.json")
+    payload = payload_with([record("TTL", 123.0)])
+    throughput.save_payload(payload, path)
+    assert throughput.load_payload(path) == payload
+
+
+def test_load_payload_rejects_wrong_schema(tmp_path):
+    path = str(tmp_path / "bad.json")
+    throughput.save_payload({"schema": "something-else", "scenarios": {}},
+                            path)
+    with pytest.raises(ValueError):
+        throughput.load_payload(path)
+
+
+def test_measure_reports_consistent_record():
+    trace = tiny_trace()
+    scenario = throughput.BenchScenario(
+        name="unit", description="unit", capacity_gb=1.0)
+    rec = throughput.measure(trace, "TTL", scenario.config(),
+                             scenario_name="unit")
+    assert rec.scenario == "unit"
+    assert rec.policy == "TTL"
+    assert not rec.reference_impl
+    assert rec.requests == trace.num_requests
+    assert rec.events > rec.requests          # at least arrival + finish
+    assert rec.wall_s > 0
+    assert rec.events_per_sec == rec.events / rec.wall_s
+
+
+def test_run_scenario_reference_asserts_identity(monkeypatch):
+    """run_scenario(reference=True) emits paired records and checks them."""
+    trace = tiny_trace()
+    scenario = throughput.BenchScenario(
+        name="unit", description="unit", capacity_gb=1.0,
+        policies=("TTL",))
+    monkeypatch.setattr(throughput.BenchScenario, "build_trace",
+                        lambda self: trace)
+    records = throughput.run_scenario(scenario, reference=True)
+    assert [r.reference_impl for r in records] == [False, True]
+    assert records[0].cold_ratio == records[1].cold_ratio
+    assert records[0].evictions == records[1].evictions

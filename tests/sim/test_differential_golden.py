@@ -1,0 +1,127 @@
+"""Differential golden tests: indexed hot path vs reference, bit-identical.
+
+The replay optimisations (per-worker state indexes, lazy heap-based
+eviction ranking, O(1) engine liveness, generation-cached memory totals)
+promise *bit-identical* simulation outcomes, not merely statistically
+equivalent ones: same tie-breaking, same eviction order, same floats.
+These tests replay seeded workloads twice — once with the default
+indexed implementations and once with ``reference_impl=True`` (the
+pre-index scan-and-sort code retained for exactly this purpose) — and
+assert equality of
+
+* the full summary dict (exact float equality, no tolerances);
+* every per-request tuple (start type, start/end/wait times);
+* the complete control-plane event log, including eviction order.
+
+Container ids are allocated from a process-global counter, so two runs
+see different absolute ids; sequences are compared after normalising by
+each run's first observed id (bit-identical behaviour implies a constant
+offset).
+
+Workloads: three seeded synthetic traces spanning pressure regimes plus
+an Azure-preset sample. Policies cover every distinct ``make_room``
+implementation: the GDSF base (FaasCache), compression (CodeCrunch),
+layer decay (RainbowCake), TTL/LRU, and the full CIDRE stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.suites import policy_factories
+from repro.sim.config import SimulationConfig
+from repro.sim.eventlog import EventLog
+from repro.sim.orchestrator import Orchestrator
+from repro.traces.azure import azure_trace
+from repro.traces.synth import ArrivalModel, synth_trace
+
+POLICIES = ("TTL", "LRU", "FaasCache", "CIDRE", "CodeCrunch",
+            "RainbowCake")
+
+
+def _synth(seed: int, n_functions: int, total_requests: int,
+           duration_ms: float, **arrivals):
+    return synth_trace(f"golden-{seed}", np.random.default_rng(seed),
+                       n_functions=n_functions,
+                       total_requests=total_requests,
+                       duration_ms=duration_ms,
+                       arrivals=ArrivalModel(**arrivals))
+
+
+def _cases():
+    # (trace, capacity_gb): capacities sized for real eviction pressure.
+    yield "synth-bursty", _synth(101, 8, 900, 120_000.0,
+                                 burst_size_p=0.4), 2.0
+    yield "synth-steady", _synth(202, 12, 1_200, 180_000.0,
+                                 steady_fraction=0.7), 2.0
+    yield "synth-tail", _synth(303, 6, 700, 90_000.0,
+                               heavy_tail_prob=0.05,
+                               burst_spread_ms=300.0), 1.0
+    yield "azure-sample", azure_trace(seed=5, total_requests=4_000), 2.0
+
+
+CASES = {name: (trace, gb) for name, trace, gb in _cases()}
+
+
+def _replay(trace, policy_name: str, capacity_gb: float, reference: bool):
+    config = SimulationConfig(capacity_gb=capacity_gb,
+                              reference_impl=reference)
+    log = EventLog()
+    policy = policy_factories()[policy_name](trace)
+    orchestrator = Orchestrator(trace.functions, policy, config,
+                                event_log=log)
+    result = orchestrator.run(trace.fresh_requests())
+    return orchestrator, result, log
+
+
+def _request_tuples(result):
+    return [(r.req_id, r.start_type, r.start_ms, r.end_ms, r.wait_ms)
+            for r in result.requests]
+
+
+def _normalized_events(log):
+    """Event tuples with container ids rebased to the run's first id."""
+    base = None
+    out = []
+    for e in log:
+        cid = None
+        if e.container_id is not None:
+            if base is None:
+                base = e.container_id
+            cid = e.container_id - base
+        out.append((e.time_ms, e.kind.value, e.func, cid, e.req_id))
+    return out
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_indexed_matches_reference(case, policy_name):
+    trace, capacity_gb = CASES[case]
+    fast_orch, fast, fast_log = _replay(trace, policy_name, capacity_gb,
+                                        reference=False)
+    _, slow, slow_log = _replay(trace, policy_name, capacity_gb,
+                                reference=True)
+
+    assert fast.summary() == slow.summary()
+    assert _request_tuples(fast) == _request_tuples(slow)
+
+    fast_events = _normalized_events(fast_log)
+    slow_events = _normalized_events(slow_log)
+    # Pinpoint the first divergence before the bulk comparison: a raw
+    # list-inequality failure on tens of thousands of tuples is useless.
+    for i, (a, b) in enumerate(zip(fast_events, slow_events)):
+        assert a == b, (f"{case}/{policy_name}: event {i} diverged:\n"
+                        f"  indexed:   {a}\n  reference: {b}")
+    assert len(fast_events) == len(slow_events)
+
+    # The run that relied on the indexes must leave them consistent.
+    for worker in fast_orch.workers():
+        worker.check_integrity()
+    live, real = fast_orch.sim._scan_counts()
+    assert (live, real) == (fast_orch.sim._live, fast_orch.sim._real)
+
+
+def test_runs_exercised_pressure():
+    """The golden cases must actually hit the eviction paths."""
+    trace, capacity_gb = CASES["synth-bursty"]
+    _, result, _ = _replay(trace, "CIDRE", capacity_gb, reference=False)
+    assert result.summary()["evictions"] > 0

@@ -8,8 +8,15 @@ triple are asserted:
 * every request finishes exactly once;
 * warm + cold + delayed-warm starts sum to the request count;
 * committed memory never exceeds ``capacity_gb``;
-* time only moves forward: arrival <= start <= end for each request.
+* time only moves forward: arrival <= start <= end for each request;
+* the per-worker state indexes survive the run self-consistent
+  (``Worker.check_integrity``) and the engine's O(1) liveness counters
+  match a full heap scan;
+* replaying with ``reference_impl=True`` (pre-index scanning/sorting
+  implementations) produces a bit-identical summary.
 """
+
+import dataclasses
 
 import random
 
@@ -95,6 +102,35 @@ def test_conservation_invariants(case_idx, policy_name):
             f"{policy_name} oversubscribed: {sample.used_mb} MB "
             f"> {capacity_mb} MB at t={sample.time_ms}")
 
-    # Final worker state is also within budget.
+    # Final worker state is also within budget, and the incremental
+    # state indexes the run relied on are still self-consistent.
     for worker in orchestrator.workers():
         assert worker.used_mb <= config.per_worker_mb + 1e-6
+        worker.check_integrity()
+
+    # Engine liveness counters agree with a full heap scan.
+    sim = orchestrator.sim
+    assert sim._scan_counts() == (sim._live, sim._real)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_reference_impl_bit_identical(case_idx, policy_name):
+    """Indexed and pre-index reference replays agree exactly.
+
+    The exhaustive event-sequence comparison lives in
+    ``test_differential_golden``; here every random property case gets
+    the cheaper summary + per-request check under both implementations.
+    """
+    trace, config = CASES[case_idx]
+    results = {}
+    for reference in (False, True):
+        cfg = dataclasses.replace(config, reference_impl=reference)
+        orchestrator = Orchestrator(trace.functions,
+                                    POLICIES[policy_name](), cfg)
+        result = orchestrator.run(trace.fresh_requests())
+        results[reference] = (
+            result.summary(),
+            [(r.req_id, r.start_type, r.start_ms, r.end_ms, r.wait_ms)
+             for r in result.requests])
+    assert results[False] == results[True]

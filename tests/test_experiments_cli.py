@@ -166,3 +166,64 @@ class TestCLIExtras:
         code = main(["report", "--preset", "azure", "--requests", "1500",
                      "--policies", "Bogus"])
         assert code == 2
+
+
+class TestBenchThroughputCLI:
+    @pytest.fixture
+    def tiny_suite(self, monkeypatch):
+        from repro.experiments import throughput
+        tiny = throughput.BenchScenario(
+            name="tiny", description="tiny smoke", seed=3,
+            total_requests=800, capacity_gb=2.0, policies=("TTL",))
+        monkeypatch.setattr(throughput, "SCENARIOS", (tiny,))
+        return tiny
+
+    def test_bench_writes_payload_and_self_check_passes(
+            self, tiny_suite, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert main(["bench-throughput", "--out", out]) == 0
+        assert "replay throughput" in capsys.readouterr().out
+        assert main(["bench-throughput", "--check", out]) == 0
+        assert "within 2x" in capsys.readouterr().out
+
+    def test_bench_reference_mode_pairs_rows(self, tiny_suite, capsys):
+        assert main(["bench-throughput", "--reference"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed" in out and "reference" in out
+
+    def test_bench_unknown_scenario(self, capsys):
+        assert main(["bench-throughput", "--scenarios", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_check_detects_regression(self, tiny_suite, tmp_path,
+                                            capsys):
+        from repro.experiments import throughput
+        baseline = {
+            "schema": throughput.SCHEMA,
+            "scenarios": {"tiny": {"results": [
+                {"policy": "TTL", "reference_impl": False,
+                 "events_per_sec": 1e12}]}}}
+        path = str(tmp_path / "baseline.json")
+        throughput.save_payload(baseline, path)
+        assert main(["bench-throughput", "--check", path]) == 1
+        assert "regression" in capsys.readouterr().err
+
+
+class TestRunProfileCLI:
+    def test_run_with_profile(self, capsys):
+        code = main(["run", "--preset", "azure", "--requests", "1500",
+                     "--seed", "3", "--policy", "TTL",
+                     "--capacity-gb", "2", "--profile"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "avg_overhead_ratio" in captured.out
+        assert "cumulative" in captured.err
+
+    def test_run_reference_impl_matches_indexed(self, capsys):
+        base = ["run", "--preset", "azure", "--requests", "1500",
+                "--seed", "3", "--policy", "CIDRE", "--capacity-gb", "2"]
+        assert main(base) == 0
+        indexed = capsys.readouterr().out
+        assert main(base + ["--reference"]) == 0
+        reference = capsys.readouterr().out
+        assert indexed == reference
