@@ -1,22 +1,30 @@
 #!/usr/bin/env python
-"""Debugging a policy with the structured event log.
+"""Debugging a policy with the event log and run telemetry.
 
 Why did *that* request wait 900 ms? The :class:`repro.sim.EventLog`
-records every control-plane decision; ``explain_request`` reconstructs one
-request's latency story — when it arrived, what was provisioned for it,
-which container finally ran it and why it had to wait.
+records every control-plane decision; ``explain_request`` reconstructs
+one request's latency story — when it arrived, what was provisioned for
+it, which container finally ran it and why it had to wait. The
+:mod:`repro.sim.telemetry` sinks extend the same stream into artifacts:
+a JSONL event file, per-request spans, a Chrome ``trace_event`` file
+you can open in Perfetto or ``chrome://tracing``, and per-function time
+series.
 
 Run with::
 
     python examples/trace_a_request.py
+
+(or reproduce it from the CLI with ``cidre-sim trace`` /
+``cidre-sim explain``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sim import (EventLog, FunctionSpec, Orchestrator, Request,
-                       SimulationConfig, StartType)
+from repro.sim import (EventLog, FunctionSpec, JsonlSink, Orchestrator,
+                       Request, SimulationConfig, SpanBuilder, StartType,
+                       TimeSeriesRecorder, write_chrome_trace)
 from repro import CIDREPolicy
 
 
@@ -29,14 +37,22 @@ def main() -> None:
                         float(rng.lognormal(5.5, 0.2)))
                 for _ in range(6)]
 
-    log = EventLog()
+    # The log fans every event out to streaming sinks: the full stream
+    # to disk as JSON Lines, and a span builder folding it into
+    # per-request latency spans as it goes.
+    jsonl = JsonlSink("checkout_events.jsonl")
+    spans = SpanBuilder()
+    log = EventLog(sinks=(jsonl, spans))
+    recorder = TimeSeriesRecorder(interval_ms=500.0)
     orchestrator = Orchestrator(functions, CIDREPolicy(),
                                 SimulationConfig(capacity_gb=4.0),
-                                event_log=log)
+                                event_log=log, recorder=recorder)
     result = orchestrator.run(requests)
+    log.close()
 
     print(f"replayed {result.total} requests; "
-          f"{len(log)} control-plane events recorded\n")
+          f"{len(log)} control-plane events recorded "
+          f"({jsonl.emitted} streamed to {jsonl.path})\n")
 
     # Pick the slowest non-warm request and explain it.
     slowest = max(result.requests, key=lambda r: r.wait_ms)
@@ -45,6 +61,29 @@ def main() -> None:
           f"waited {slowest.wait_ms:,.0f} ms)\n")
     print("its event story:")
     print(log.render(log.explain_request(slowest.req_id)))
+
+    # The same story, as a span: wait vs exec decomposition.
+    span = next(s for s in spans.finish()
+                if s.req_id == slowest.req_id)
+    print(f"\nas a span: waited {span.wait_ms:,.0f} ms, "
+          f"executed {span.exec_ms:,.0f} ms on c{span.container_id}"
+          + (f" (provisioned "
+             f"{span.provision_ready_ms - span.provision_start_ms:,.0f}"
+             f" ms for it)" if span.provision_start_ms is not None
+             else ""))
+
+    # Export everything the burst did as a Chrome trace: open
+    # checkout.trace.json in https://ui.perfetto.dev.
+    trace = write_chrome_trace("checkout.trace.json", spans)
+    print(f"\nwrote checkout.trace.json "
+          f"({len(trace['traceEvents'])} trace events) — load it in "
+          f"Perfetto or chrome://tracing")
+
+    # And the warm-pool time series the recorder sampled.
+    warm = recorder.functions["checkout"].points("warm")
+    peak_t, peak = max(warm, key=lambda p: p[1])
+    print(f"checkout warm pool peaked at {peak:.0f} containers "
+          f"(t={peak_t:,.0f} ms)")
 
     delayed = [r for r in result.requests
                if r.start_type is StartType.DELAYED]

@@ -23,6 +23,30 @@ python -m repro.cli "${common[@]}" --jobs 1 --out "$tmpdir/serial.md"
 cmp "$tmpdir/parallel.md" "$tmpdir/serial.md"
 echo "parallel sweep matches serial bit-for-bit"
 
+echo "== telemetry smoke (JSONL events + Chrome trace + time series) =="
+python -m repro.cli trace --preset azure --requests 1500 --seed 3 \
+    --policy CIDRE --capacity-gb 2 --ring-capacity 512 \
+    --events-out "$tmpdir/events.jsonl" \
+    --chrome-trace "$tmpdir/trace.json" \
+    --timeseries-out "$tmpdir/series.json" > /dev/null
+python - "$tmpdir" <<'EOF'
+import json, sys
+tmpdir = sys.argv[1]
+events = [json.loads(line)
+          for line in open(f"{tmpdir}/events.jsonl") if line.strip()]
+assert events, "no events streamed"
+assert all({"t", "kind", "func"} <= set(e) for e in events)
+trace = json.load(open(f"{tmpdir}/trace.json"))
+assert trace["traceEvents"], "empty Chrome trace"
+assert all("ph" in e and "pid" in e for e in trace["traceEvents"])
+series = json.load(open(f"{tmpdir}/series.json"))
+assert series["cluster"]["times_ms"] and series["functions"]
+print(f"telemetry artifacts OK: {len(events)} events, "
+      f"{len(trace['traceEvents'])} trace events, "
+      f"{len(series['cluster']['times_ms'])} samples x "
+      f"{len(series['functions'])} functions")
+EOF
+
 echo "== replay throughput smoke (ci-smoke vs committed baseline) =="
 # Gate on the committed trajectory point: fail if the smoke scenario's
 # events/sec drops below half of BENCH_throughput.json's recorded value.

@@ -9,6 +9,7 @@ from repro.analysis.opportunity import (OpportunityResult,
 from repro.analysis.plot import ascii_cdf, ascii_series
 from repro.analysis.report import experiment_report
 from repro.analysis.tables import render_cdf_series, render_table
+from repro.analysis.timeseries import timeseries_plot, timeseries_table
 from repro.analysis.whatif import (QueueAlwaysFaasCache, QueueLengthResult,
                                    TradeoffProbeFaasCache, TradeoffResult,
                                    eviction_study, queue_length_study,
@@ -23,5 +24,5 @@ __all__ = [
     "fraction_below", "opportunity_space", "opportunity_sweep",
     "experiment_report", "queue_length_study", "render_cdf_series",
     "render_table",
-    "tradeoff_analysis",
+    "timeseries_plot", "timeseries_table", "tradeoff_analysis",
 ]

@@ -1,0 +1,69 @@
+"""Rendering helpers for :class:`repro.sim.telemetry.TimeSeriesRecorder`.
+
+The recorder produces fixed-interval per-function series (container
+counts by state, committed memory, start-type rates). These helpers turn
+them into the repo's text-first outputs: ``ascii_series`` plots of one
+metric across functions, and summary tables of per-function telemetry
+(peak warm pool, start mix) — the per-function concurrency statistics
+the paper's evaluation leans on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.plot import ascii_series
+from repro.analysis.tables import render_table
+
+
+def timeseries_plot(recorder, metric: str = "warm",
+                    funcs: Optional[Sequence[str]] = None,
+                    include_cluster: bool = False,
+                    title: Optional[str] = None,
+                    top: int = 6) -> str:
+    """ASCII plot of one recorded metric over virtual time.
+
+    ``metric`` is any :class:`~repro.sim.telemetry.FunctionSeries`
+    metric (``warm``, ``busy``, ``idle``, ``provisioning``,
+    ``memory_mb``, ``warm_starts``, ``cold_starts``,
+    ``delayed_starts``). Defaults to the ``top`` functions by peak value
+    when ``funcs`` is not given.
+    """
+    if funcs is None:
+        ranked = sorted(
+            recorder.functions,
+            key=lambda f: -max(
+                (v for _, v in recorder.functions[f].points(metric)),
+                default=0.0))
+        funcs = ranked[:top]
+    series = {f: recorder.functions[f].points(metric)
+              for f in funcs if f in recorder.functions}
+    if include_cluster:
+        series["cluster"] = recorder.cluster.points(metric)
+    return ascii_series(series,
+                        title=title or f"{metric} over time (ms)")
+
+
+def timeseries_table(recorder,
+                     funcs: Optional[Sequence[str]] = None) -> str:
+    """Per-function telemetry summary table (peaks and start mix)."""
+    names = sorted(funcs if funcs is not None else recorder.functions)
+    rows: List[list] = []
+    for func in names:
+        series = recorder.functions.get(func)
+        if series is None or not len(series):
+            continue
+        rows.append([
+            func,
+            max(series.warm),
+            max(series.busy),
+            max(series.provisioning),
+            max(series.memory_mb),
+            sum(series.starts["warm"]),
+            sum(series.starts["delayed"]),
+            sum(series.starts["cold"]),
+        ])
+    return render_table(
+        ["function", "peak_warm", "peak_busy", "peak_prov",
+         "peak_mb", "warm", "delayed", "cold"],
+        rows, title="per-function telemetry")

@@ -115,6 +115,96 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_policy(name: str):
+    table = policy_factories()
+    if name not in table:
+        print(f"unknown policy {name!r}; choose from: "
+              f"{', '.join(sorted(table))}", file=sys.stderr)
+        return None
+    return table[name]
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Replay one policy with full run telemetry attached."""
+    from repro.sim.eventlog import EventLog
+    from repro.sim.telemetry import (JsonlSink, SpanBuilder,
+                                     TimeSeriesRecorder,
+                                     write_chrome_trace)
+
+    trace = _build_trace(args)
+    factory = _resolve_policy(args.policy)
+    if factory is None:
+        return 2
+    config = SimulationConfig(capacity_gb=args.capacity_gb,
+                              workers=args.workers,
+                              threads_per_container=args.threads)
+    sinks = []
+    jsonl = spans = None
+    if args.events_out:
+        jsonl = JsonlSink(args.events_out)
+        sinks.append(jsonl)
+    if args.chrome_trace:
+        spans = SpanBuilder()
+        sinks.append(spans)
+    recorder = (TimeSeriesRecorder(args.sample_interval_ms)
+                if args.timeseries_out else None)
+    log = EventLog(capacity=args.ring_capacity, sinks=sinks)
+    experiment = run_one(trace, factory, config, event_log=log,
+                         recorder=recorder)
+    log.close()
+
+    result = experiment.result
+    print(f"replayed {result.total} requests "
+          f"({args.policy} on {trace.name} @ {args.capacity_gb:g} GB): "
+          f"{log.recorded} events recorded, "
+          f"{len(log)} held in the ring ({log.dropped} rotated out)")
+    if jsonl is not None:
+        print(f"wrote {jsonl.emitted} events to {jsonl.path}")
+    if spans is not None:
+        chrome = write_chrome_trace(args.chrome_trace, spans)
+        print(f"wrote Chrome trace ({len(chrome['traceEvents'])} "
+              f"trace events) to {args.chrome_trace} — load it in "
+              f"Perfetto or chrome://tracing")
+    if recorder is not None:
+        recorder.save_json(args.timeseries_out)
+        print(f"wrote {len(recorder.cluster)} samples x "
+              f"{len(recorder.functions)} functions to "
+              f"{args.timeseries_out}")
+    print(render_table(
+        ["metric", "value"], sorted(result.summary().items()),
+        title=f"{args.policy} on {trace.name} @ {args.capacity_gb} GB"))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Replay and print one request's latency story from the event log."""
+    from repro.sim.eventlog import EventLog
+
+    trace = _build_trace(args)
+    factory = _resolve_policy(args.policy)
+    if factory is None:
+        return 2
+    config = SimulationConfig(capacity_gb=args.capacity_gb,
+                              workers=args.workers,
+                              threads_per_container=args.threads)
+    log = EventLog()
+    experiment = run_one(trace, factory, config, event_log=log)
+    result = experiment.result
+    req = next((r for r in result.requests if r.req_id == args.req_id),
+               None)
+    if req is None:
+        print(f"no request with id {args.req_id} "
+              f"(ids run 0..{result.total - 1})", file=sys.stderr)
+        return 2
+    print(f"r{req.req_id} {req.func}: {req.start_type.value} start, "
+          f"arrived {req.arrival_ms:.3f} ms, "
+          f"waited {req.wait_ms:.3f} ms, "
+          f"executed {req.exec_ms:.3f} ms on c{req.container_id}")
+    print()
+    print(log.render(log.explain_request(args.req_id)))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     trace = _build_trace(args)
     table = policy_factories()
@@ -256,7 +346,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir,
                             collect="summary",
-                            progress=None if args.quiet else progress)
+                            progress=None if args.quiet else progress,
+                            events_dir=args.events_dir)
     results = runner.capacity_sweep(
         trace, names, capacities, seed=args.seed,
         workers=args.workers, threads_per_container=args.threads)
@@ -357,6 +448,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "(scan/sort hot path; bit-identical results)")
     run.set_defaults(func=cmd_run)
 
+    tr = sub.add_parser(
+        "trace", help="replay with run telemetry (JSONL event stream, "
+                      "Chrome trace, time series)")
+    _add_trace_args(tr)
+    tr.add_argument("--policy", default="CIDRE")
+    tr.add_argument("--capacity-gb", type=float, default=100.0)
+    tr.add_argument("--workers", type=int, default=1)
+    tr.add_argument("--threads", type=int, default=1)
+    tr.add_argument("--events-out", default=None,
+                    help="stream the full event log here as JSON Lines "
+                         "(O(1) memory)")
+    tr.add_argument("--chrome-trace", default=None,
+                    help="write a Chrome trace_event JSON here "
+                         "(Perfetto / chrome://tracing)")
+    tr.add_argument("--timeseries-out", default=None,
+                    help="write sampled per-function time series "
+                         "(JSON) here")
+    tr.add_argument("--sample-interval-ms", type=float, default=1_000.0,
+                    help="time-series sampling period (virtual ms)")
+    tr.add_argument("--ring-capacity", type=int, default=65_536,
+                    help="events kept in memory (oldest rotate out; "
+                         "sinks still see everything)")
+    tr.set_defaults(func=cmd_trace)
+
+    explain = sub.add_parser(
+        "explain", help="replay and explain one request's latency story")
+    explain.add_argument("req_id", type=int,
+                         help="request id (serial arrival order)")
+    _add_trace_args(explain)
+    explain.add_argument("--policy", default="CIDRE")
+    explain.add_argument("--capacity-gb", type=float, default=100.0)
+    explain.add_argument("--workers", type=int, default=1)
+    explain.add_argument("--threads", type=int, default=1)
+    explain.set_defaults(func=cmd_explain)
+
     cmp_ = sub.add_parser("compare", help="compare policies over a trace")
     _add_trace_args(cmp_)
     cmp_.add_argument("--policies", default=None,
@@ -403,6 +529,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "default: CPU count)")
     sweep.add_argument("--cache-dir", default=None,
                        help="persist/reuse per-cell results here")
+    sweep.add_argument("--events-dir", default=None,
+                       help="stream each executed cell's event log to "
+                            "a JSONL file in this directory")
     sweep.add_argument("--workers", type=int, default=1)
     sweep.add_argument("--threads", type=int, default=1)
     sweep.add_argument("--out", default=None,

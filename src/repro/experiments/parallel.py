@@ -53,7 +53,9 @@ from repro.sim.config import SimulationConfig
 from repro.traces.schema import Trace
 
 #: Bump when the cached payload layout or simulator semantics change.
-CACHE_VERSION = 1
+#: v2: ``avg_memory_mb`` became a true time-weighted (trapezoidal)
+#: average, so v1 summaries are no longer comparable.
+CACHE_VERSION = 2
 
 ProgressFn = Callable[[int, int, "CellTiming"], None]
 
@@ -187,23 +189,54 @@ def cache_key(digest: str, policy_name: str,
 
 
 # ======================================================================
+# Per-cell telemetry sinks
+
+
+def cell_events_path(events_dir: Union[str, Path], job: JobSpec) -> Path:
+    """Where one sweep cell streams its JSONL event log.
+
+    The name encodes the serial cell index plus the (policy, capacity)
+    coordinates, so a sweep's files sort in grid order and stay stable
+    across runs and worker counts."""
+    return Path(events_dir) / (f"cell{job.index:04d}_{job.policy_name}"
+                               f"_cap{job.config.capacity_gb:g}.jsonl")
+
+
+def _cell_event_log(events_dir, job: JobSpec):
+    """A sink-only event log streaming to the cell's JSONL file."""
+    if events_dir is None:
+        return None
+    from repro.sim.eventlog import EventLog
+    from repro.sim.telemetry import JsonlSink
+    return EventLog(capacity=0,
+                    sinks=(JsonlSink(cell_events_path(events_dir, job)),))
+
+
+# ======================================================================
 # Worker-side plumbing (module-level so it pickles under spawn)
 
 _WORKER_TRACE: Optional[Trace] = None
 _WORKER_COLLECT: str = "full"
+_WORKER_EVENTS_DIR: Optional[str] = None
 
 
-def _init_worker(trace: Trace, collect: str) -> None:
-    global _WORKER_TRACE, _WORKER_COLLECT
+def _init_worker(trace: Trace, collect: str,
+                 events_dir: Optional[str] = None) -> None:
+    global _WORKER_TRACE, _WORKER_COLLECT, _WORKER_EVENTS_DIR
     _WORKER_TRACE = trace
     _WORKER_COLLECT = collect
+    _WORKER_EVENTS_DIR = events_dir
 
 
 def _run_cell(job: JobSpec) -> Tuple[int, str, object, float]:
     """Run one cell in a worker. Returns (index, kind, payload, secs)."""
     start = time.perf_counter()
     factory = policy_factories()[job.policy_name]
-    experiment = run_one(_WORKER_TRACE, factory, job.config)
+    event_log = _cell_event_log(_WORKER_EVENTS_DIR, job)
+    experiment = run_one(_WORKER_TRACE, factory, job.config,
+                         event_log=event_log)
+    if event_log is not None:
+        event_log.close()
     elapsed = time.perf_counter() - start
     if _WORKER_COLLECT == "summary":
         payload = (experiment.result.summary(),
@@ -293,13 +326,20 @@ class ParallelRunner:
     progress:
         Optional callback ``(done, total, CellTiming)`` invoked in the
         parent as each cell lands.
+    events_dir:
+        Optional directory for per-cell telemetry: every *executed* cell
+        streams its full control-plane event log to
+        ``cell_events_path(events_dir, job)`` as JSON Lines (O(1) extra
+        memory per worker). Cache hits skip simulation and therefore
+        write no event file — clear ``cache_dir`` to trace everything.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  mp_context: Optional[str] = None,
                  cache_dir: Optional[Union[str, Path]] = None,
                  collect: str = "full",
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 events_dir: Optional[Union[str, Path]] = None):
         if collect not in ("full", "summary"):
             raise ValueError(f"unknown collect mode {collect!r}")
         self.jobs = max(int(jobs if jobs is not None
@@ -311,6 +351,7 @@ class ParallelRunner:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.collect = collect
         self.progress = progress
+        self.events_dir = Path(events_dir) if events_dir else None
         #: Timing/caching record of the most recent sweep.
         self.last_report: Optional[SweepReport] = None
 
@@ -402,13 +443,18 @@ class ParallelRunner:
         """Yield (index, kind, payload, elapsed) for every cell to run."""
         if not to_run:
             return
+        if self.events_dir is not None:
+            self.events_dir.mkdir(parents=True, exist_ok=True)
         if self.jobs == 1 or len(to_run) == 1:
             # Serial fallback: same code path the workers run, in-process.
             table = policy_factories()
             for job in to_run:
                 start = time.perf_counter()
+                event_log = _cell_event_log(self.events_dir, job)
                 experiment = run_one(trace, table[job.policy_name],
-                                     job.config)
+                                     job.config, event_log=event_log)
+                if event_log is not None:
+                    event_log.close()
                 elapsed = time.perf_counter() - start
                 if self.collect == "summary":
                     payload = (experiment.result.summary(),
@@ -419,8 +465,10 @@ class ParallelRunner:
             return
         ctx = multiprocessing.get_context(self.mp_context)
         workers = min(self.jobs, len(to_run))
+        events_dir = (str(self.events_dir)
+                      if self.events_dir is not None else None)
         with ctx.Pool(processes=workers, initializer=_init_worker,
-                      initargs=(trace, self.collect)) as pool:
+                      initargs=(trace, self.collect, events_dir)) as pool:
             # Ordered, streaming collection: one in-flight result object
             # per finished cell, never the whole grid at once.
             for item in pool.imap(_run_cell, to_run, chunksize=1):

@@ -39,11 +39,19 @@ class ExperimentResult:
 
 
 def run_one(trace: Trace, factory: PolicyFactory,
-            config: Optional[SimulationConfig] = None) -> ExperimentResult:
-    """Run one policy over one trace."""
+            config: Optional[SimulationConfig] = None,
+            event_log=None, recorder=None) -> ExperimentResult:
+    """Run one policy over one trace.
+
+    ``event_log`` / ``recorder`` are optional telemetry attachments
+    (:class:`repro.sim.EventLog`,
+    :class:`repro.sim.telemetry.TimeSeriesRecorder`) passed through to
+    the orchestrator; they observe the run without changing its outcome.
+    """
     config = config or SimulationConfig()
     policy = factory(trace)
-    orchestrator = Orchestrator(trace.functions, policy, config)
+    orchestrator = Orchestrator(trace.functions, policy, config,
+                                event_log=event_log, recorder=recorder)
     result = orchestrator.run(trace.fresh_requests())
     return ExperimentResult(policy.name, trace.name, config, result)
 

@@ -8,11 +8,19 @@ from repro.sim.function import FunctionSpec, LayerStack
 from repro.sim.metrics import MetricsCollector, SimulationResult
 from repro.sim.orchestrator import Orchestrator, simulate
 from repro.sim.request import Request, StartType
+from repro.sim.telemetry import (EventSink, JsonlSink, RequestSpan,
+                                 RingSink, SpanBuilder,
+                                 TimeSeriesRecorder, build_spans,
+                                 chrome_trace, read_events_jsonl,
+                                 write_chrome_trace)
 from repro.sim.worker import Worker
 
 __all__ = [
     "Container", "ContainerState", "Event", "EventKind", "EventLog",
-    "FunctionSpec", "LayerStack",
-    "MetricsCollector", "Orchestrator", "Request", "SimulationConfig",
-    "SimulationResult", "Simulator", "StartType", "Worker", "simulate",
+    "EventSink", "FunctionSpec", "JsonlSink", "LayerStack",
+    "MetricsCollector", "Orchestrator", "Request", "RequestSpan",
+    "RingSink", "SimulationConfig", "SimulationResult", "Simulator",
+    "SpanBuilder", "StartType", "TimeSeriesRecorder", "Worker",
+    "build_spans", "chrome_trace", "read_events_jsonl", "simulate",
+    "write_chrome_trace",
 ]

@@ -7,14 +7,19 @@ policy, tracing one function's containers through a run, or explaining a
 single request's latency (``explain_request``).
 
 Logging is opt-in (``Orchestrator(..., event_log=EventLog())``) and adds
-one append per event when enabled, nothing when not.
+one append per event when enabled, nothing when not. For runs too large
+to hold in memory, the log can be bounded (``capacity``) and/or fanned
+out to streaming :mod:`repro.sim.telemetry` sinks (``sinks``): every
+event still reaches each attached sink, while the in-memory buffer keeps
+only the newest ``capacity`` events.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 
 class EventKind(enum.Enum):
@@ -28,6 +33,24 @@ class EventKind(enum.Enum):
     RESTORE_START = "restore_start"
 
 
+#: Causal ordering of lifecycle events that share a timestamp: a request
+#: arrives before anything is provisioned for it, a container becomes
+#: ready before it executes, execution ends before the container can be
+#: compressed or evicted. Alphabetical ``kind.value`` order (the old sort
+#: key) violates this — ``eviction`` sorts before ``exec_end`` — which
+#: garbles same-tick latency stories.
+LIFECYCLE_RANK = {
+    EventKind.ARRIVAL: 0,
+    EventKind.PROVISION_START: 1,
+    EventKind.RESTORE_START: 2,
+    EventKind.CONTAINER_READY: 3,
+    EventKind.EXEC_START: 4,
+    EventKind.EXEC_END: 5,
+    EventKind.COMPRESSION: 6,
+    EventKind.EVICTION: 7,
+}
+
+
 @dataclass(frozen=True)
 class Event:
     """One control-plane event."""
@@ -38,9 +61,12 @@ class Event:
     container_id: Optional[int] = None
     req_id: Optional[int] = None
     detail: str = ""
+    worker_id: Optional[int] = None
 
     def __str__(self) -> str:
         parts = [f"{self.time_ms:12.3f}", self.kind.value, self.func]
+        if self.worker_id is not None:
+            parts.append(f"w{self.worker_id}")
         if self.container_id is not None:
             parts.append(f"c{self.container_id}")
         if self.req_id is not None:
@@ -53,21 +79,52 @@ class Event:
 class EventLog:
     """Accumulates :class:`Event` records during a run."""
 
-    def __init__(self, capacity: Optional[int] = None):
-        """``capacity`` bounds memory: oldest events are dropped beyond
-        it (None = unbounded)."""
-        self.events: List[Event] = []
+    def __init__(self, capacity: Optional[int] = None,
+                 sinks: Sequence = ()):
+        """``capacity`` bounds memory: the oldest events are dropped one
+        by one beyond it (None = unbounded). ``sinks`` are telemetry
+        sinks (any object with ``emit(event)``) that receive **every**
+        event, including the ones the bounded buffer later drops."""
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be >= 0 (or None); 0 keeps "
+                             "nothing in memory (sink-only logging)")
         self.capacity = capacity
+        self.events = deque(maxlen=capacity)
+        #: Events evicted from the bounded in-memory buffer. Counts every
+        #: individual dropped event (sinks still saw them all).
         self.dropped = 0
+        #: Total events ever recorded (== len(events) + dropped).
+        self.recorded = 0
+        self._sinks = tuple(sinks)
+
+    def attach(self, sink) -> None:
+        """Add a telemetry sink; it receives events recorded from now on."""
+        self._sinks += (sink,)
+
+    @property
+    def sinks(self) -> tuple:
+        return self._sinks
 
     def record(self, time_ms: float, kind: EventKind, func: str,
                container_id: Optional[int] = None,
-               req_id: Optional[int] = None, detail: str = "") -> None:
-        if self.capacity is not None and len(self.events) >= self.capacity:
-            del self.events[:len(self.events) // 2]
-            self.dropped += 1
-        self.events.append(Event(time_ms, kind, func, container_id,
-                                 req_id, detail))
+               req_id: Optional[int] = None, detail: str = "",
+               worker_id: Optional[int] = None) -> None:
+        events = self.events
+        if self.capacity is not None and len(events) == self.capacity:
+            self.dropped += 1          # deque(maxlen) evicts the oldest
+        event = Event(time_ms, kind, func, container_id, req_id, detail,
+                      worker_id)
+        events.append(event)
+        self.recorded += 1
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every attached sink (flushes streaming file sinks)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -100,10 +157,10 @@ class EventLog:
                                   EventKind.CONTAINER_READY,
                                   EventKind.EVICTION)]
         merged = sorted(mine + related,
-                        key=lambda e: (e.time_ms, e.kind.value))
+                        key=lambda e: (e.time_ms, LIFECYCLE_RANK[e.kind]))
         return merged
 
     def render(self, events: Optional[Iterable[Event]] = None) -> str:
         """Human-readable dump (of a query result or everything)."""
-        chosen = list(events) if events is not None else self.events
+        chosen = list(events) if events is not None else list(self.events)
         return "\n".join(str(e) for e in chosen)

@@ -131,10 +131,16 @@ class SimulationResult:
         return float(self.waits_ms().mean())
 
     def wait_percentile(self, q: float) -> float:
-        """``q``-th percentile (0-100) of invocation overhead."""
+        """``q``-th percentile (0-100) of invocation overhead.
+
+        Returns 0.0 on an empty run, like every sibling accessor."""
+        if not self.requests:
+            return 0.0
         return float(np.percentile(self.waits_ms(), q))
 
     def service_percentile(self, q: float) -> float:
+        if not self.requests:
+            return 0.0
         return float(np.percentile(self.service_times_ms(), q))
 
     # ------------------------------------------------------------------
@@ -142,10 +148,25 @@ class SimulationResult:
 
     @property
     def avg_memory_mb(self) -> float:
-        """Time-average of the sampled committed memory (Fig. 16)."""
+        """Time-average of the sampled committed memory (Fig. 16).
+
+        Trapezoidal integration over the sample timestamps, so the value
+        is weighted by how long each level was held — an unweighted
+        sample mean over-counts whatever level happens to be sampled
+        more densely (the sampler's cadence is irregular near run end).
+        Degenerate inputs (one sample, or all samples at one instant)
+        fall back to the plain mean.
+        """
         if not self.memory_samples:
             return 0.0
-        return float(np.mean([s.used_mb for s in self.memory_samples]))
+        values = [s.used_mb for s in self.memory_samples]
+        if len(values) == 1:
+            return float(values[0])
+        times = [s.time_ms for s in self.memory_samples]
+        span = times[-1] - times[0]
+        if span <= 0:
+            return float(np.mean(values))
+        return float(np.trapezoid(values, times) / span)
 
     @property
     def peak_memory_mb(self) -> float:
@@ -171,8 +192,8 @@ class SimulationResult:
             "delayed_ratio": self.delayed_start_ratio,
             "avg_overhead_ratio": self.avg_overhead_ratio,
             "avg_wait_ms": self.avg_wait_ms,
-            "p50_wait_ms": self.wait_percentile(50) if self.requests else 0.0,
-            "p99_wait_ms": self.wait_percentile(99) if self.requests else 0.0,
+            "p50_wait_ms": self.wait_percentile(50),
+            "p99_wait_ms": self.wait_percentile(99),
             "avg_memory_mb": self.avg_memory_mb,
             "wasted_cold_starts": float(self.wasted_cold_starts),
             "evictions": float(self.evictions),

@@ -100,7 +100,8 @@ class Orchestrator:
     def __init__(self, functions: Iterable[FunctionSpec],
                  policy: OrchestrationPolicy,
                  config: Optional[SimulationConfig] = None,
-                 event_log: Optional["EventLog"] = None):
+                 event_log: Optional["EventLog"] = None,
+                 recorder=None):
         self.config = config or SimulationConfig()
         self.policy = policy
         #: Seeded RNG for stochastic policies (``ctx.rng``). The core
@@ -113,6 +114,11 @@ class Orchestrator:
         self.sim = Simulator(naive=self._naive)
         self.metrics = MetricsCollector()
         self.event_log = event_log
+        #: Optional :class:`repro.sim.telemetry.TimeSeriesRecorder` (any
+        #: object with ``interval_ms``/``note_start``/``sample``/
+        #: ``finish``). Strictly read-only observation: attaching one
+        #: never changes simulation outcomes.
+        self.recorder = recorder
         self.specs: Dict[str, FunctionSpec] = {f.name: f for f in functions}
         self._usage = _ClusterUsage()
         self._used_mb_cache = 0.0
@@ -203,7 +209,8 @@ class Orchestrator:
         self._committed.pop(container.container_id, None)
         self.metrics.evictions += 1
         self._log(EventKind.EVICTION, container.spec.name,
-                  container_id=container.container_id)
+                  container_id=container.container_id,
+                  worker_id=worker.worker_id)
         self.policy.on_eviction([container], self.sim.now)
 
     def compress(self, container: Container, mem_fraction: float) -> None:
@@ -213,7 +220,8 @@ class Orchestrator:
         container.compress(mem_fraction)
         worker.recharge(container, old_mb)
         self._log(EventKind.COMPRESSION, container.spec.name,
-                  container_id=container.container_id)
+                  container_id=container.container_id,
+                  worker_id=worker.worker_id if worker else None)
 
     def prewarm(self, spec: FunctionSpec, worker: Worker) -> bool:
         """Provision a container ahead of demand (IceBreaker / ENSURE)."""
@@ -242,6 +250,9 @@ class Orchestrator:
         if self.policy.maintenance_interval_ms:
             self.sim.every(self.policy.maintenance_interval_ms,
                            self._run_maintenance)
+        if self.recorder is not None:
+            self.sim.every(self.recorder.interval_ms,
+                           self.recorder.sample, self, start_delay=0.0)
         self.sim.run()
         self._finalize(ordered)
         return self.metrics.result()
@@ -252,7 +263,8 @@ class Orchestrator:
     def _on_arrival(self, request: Request) -> None:
         now = self.sim.now
         worker = self._dispatch(request.func)
-        self._log(EventKind.ARRIVAL, request.func, req_id=request.req_id)
+        self._log(EventKind.ARRIVAL, request.func, req_id=request.req_id,
+                  worker_id=worker.worker_id)
         self.policy.on_request_arrival(request, worker, now)
 
         # Step 1a: true warm start on an idle container / free slot.
@@ -341,7 +353,8 @@ class Orchestrator:
         self._log(EventKind.PROVISION_START, spec.name,
                   container_id=container.container_id,
                   detail="prewarm" if prewarm
-                  else ("speculative" if speculative else "bound"))
+                  else ("speculative" if speculative else "bound"),
+                  worker_id=worker.worker_id)
         self.policy.on_provision_started(container, now)
         self.sim.schedule(cost, self._on_ready, container, waiter)
         return container
@@ -364,7 +377,7 @@ class Orchestrator:
         worker.recharge(container, old_mb)
         self._log(EventKind.RESTORE_START, request.func,
                   container_id=container.container_id,
-                  req_id=request.req_id)
+                  req_id=request.req_id, worker_id=worker.worker_id)
         waiter = _Waiter(request, may_use_busy=False, bound=container)
         self._enqueue_waiter(waiter)
         self.metrics.restores += 1
@@ -379,7 +392,9 @@ class Orchestrator:
         now = self.sim.now
         container.mark_ready(now)
         self._log(EventKind.CONTAINER_READY, container.spec.name,
-                  container_id=container.container_id)
+                  container_id=container.container_id,
+                  worker_id=container.worker.worker_id
+                  if container.worker else None)
         self.policy.on_container_ready(container, now)
         if waiter is not None and not waiter.served:
             self._serve(container, waiter, StartType.COLD)
@@ -432,7 +447,11 @@ class Orchestrator:
         request.container_id = container.container_id
         self._log(EventKind.EXEC_START, request.func,
                   container_id=container.container_id,
-                  req_id=request.req_id, detail=start_type.value)
+                  req_id=request.req_id, detail=start_type.value,
+                  worker_id=container.worker.worker_id
+                  if container.worker else None)
+        if self.recorder is not None:
+            self.recorder.note_start(request.func, start_type.value, now)
         container.start_request(request, now)
         if start_type is StartType.WARM:
             self.policy.on_warm_start(container, request, now)
@@ -449,7 +468,9 @@ class Orchestrator:
         request.end_ms = now
         self._log(EventKind.EXEC_END, request.func,
                   container_id=container.container_id,
-                  req_id=request.req_id)
+                  req_id=request.req_id,
+                  worker_id=container.worker.worker_id
+                  if container.worker else None)
         self.metrics.record_request(request)
         self.policy.on_request_complete(container, request, now)
         # Step 2a: the vacant slot serves queued waiters — first those
@@ -544,10 +565,11 @@ class Orchestrator:
 
     def _log(self, kind: EventKind, func: str,
              container_id: Optional[int] = None,
-             req_id: Optional[int] = None, detail: str = "") -> None:
+             req_id: Optional[int] = None, detail: str = "",
+             worker_id: Optional[int] = None) -> None:
         if self.event_log is not None:
             self.event_log.record(self.sim.now, kind, func, container_id,
-                                  req_id, detail)
+                                  req_id, detail, worker_id)
 
     def _dispatch(self, func: str) -> Worker:
         if len(self._workers) == 1 or self.config.dispatch == "single":
@@ -586,6 +608,8 @@ class Orchestrator:
             for c in worker.containers.values():
                 if c.speculative and not c.served_any:
                     self.metrics.wasted_cold_starts += 1
+        if self.recorder is not None:
+            self.recorder.finish(self)
 
 
 def simulate(functions: Iterable[FunctionSpec],

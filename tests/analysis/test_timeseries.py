@@ -1,0 +1,63 @@
+"""Tests for the time-series rendering helpers."""
+
+from repro.analysis.timeseries import timeseries_plot, timeseries_table
+from repro.sim.telemetry import TimeSeriesRecorder
+
+
+def recorder_with(samples):
+    """Build a recorder by hand: ``samples`` maps function name to a
+    list of (time_ms, idle, busy, provisioning, memory_mb, starts)."""
+    recorder = TimeSeriesRecorder(interval_ms=1_000.0)
+    for func, rows in samples.items():
+        series = recorder.functions.setdefault(
+            func, type(recorder.cluster)())
+        for row in rows:
+            series.append(*row)
+    for rows in zip(*samples.values()):
+        t = rows[0][0]
+        recorder.cluster.append(
+            t, sum(r[1] for r in rows), sum(r[2] for r in rows),
+            sum(r[3] for r in rows), sum(r[4] for r in rows),
+            {k: sum(r[5].get(k, 0) for r in rows)
+             for k in ("warm", "delayed", "cold")})
+    return recorder
+
+
+SAMPLES = {
+    "hot": [(0.0, 1, 2, 0, 512.0, {"warm": 2}),
+            (1000.0, 2, 3, 1, 768.0, {"warm": 3, "cold": 1})],
+    "cool": [(0.0, 0, 0, 0, 0.0, {}),
+             (1000.0, 1, 0, 0, 128.0, {"cold": 1})],
+}
+
+
+class TestTimeseriesPlot:
+    def test_plots_top_functions(self):
+        text = timeseries_plot(recorder_with(SAMPLES), metric="warm")
+        assert "hot" in text and "cool" in text
+        assert "warm over time" in text
+
+    def test_explicit_funcs_and_cluster(self):
+        text = timeseries_plot(recorder_with(SAMPLES), metric="memory_mb",
+                               funcs=["hot"], include_cluster=True,
+                               title="mem")
+        assert "hot" in text and "cluster" in text and "mem" in text
+        assert "cool" not in text
+
+    def test_start_metric(self):
+        text = timeseries_plot(recorder_with(SAMPLES),
+                               metric="cold_starts", top=1)
+        assert "cold_starts" in text
+
+
+class TestTimeseriesTable:
+    def test_table_rows(self):
+        text = timeseries_table(recorder_with(SAMPLES))
+        assert "per-function telemetry" in text
+        assert "hot" in text and "cool" in text
+        assert "peak_warm" in text
+
+    def test_func_filter_skips_unknown(self):
+        text = timeseries_table(recorder_with(SAMPLES),
+                                funcs=["hot", "missing"])
+        assert "hot" in text and "missing" not in text

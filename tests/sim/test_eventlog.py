@@ -75,6 +75,49 @@ class TestEventLog:
         assert len(log) <= 4 + 2
         assert log.dropped > 0
 
+    def test_capacity_dropped_accounting(self):
+        # Regression: the old purge-half implementation incremented
+        # ``dropped`` by 1 while discarding capacity//2 events.
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.record(float(i), EventKind.ARRIVAL, "f", req_id=i)
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert log.recorded == 10
+        # Oldest events drop first; the newest survive in order.
+        assert [e.req_id for e in log] == [6, 7, 8, 9]
+
+    def test_capacity_zero_is_sink_only(self):
+        log = EventLog(capacity=0)
+        for i in range(3):
+            log.record(float(i), EventKind.ARRIVAL, "f", req_id=i)
+        assert len(log) == 0
+        assert log.dropped == 3
+        assert log.recorded == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=-1)
+
+    def test_explain_request_orders_same_tick_by_lifecycle(self):
+        # Regression: same-timestamp events were ordered by kind.value
+        # (alphabetical), which puts eviction before exec_end. Record
+        # a same-tick provision -> ready -> exec -> evict story in a
+        # deliberately scrambled order and expect the causal order back.
+        log = EventLog()
+        t = 100.0
+        log.record(t, EventKind.EVICTION, "f", container_id=1)
+        log.record(t, EventKind.EXEC_END, "f", container_id=1, req_id=0)
+        log.record(t, EventKind.EXEC_START, "f", container_id=1, req_id=0)
+        log.record(t, EventKind.CONTAINER_READY, "f", container_id=1)
+        log.record(t, EventKind.PROVISION_START, "f", container_id=1)
+        log.record(t - 50.0, EventKind.ARRIVAL, "f", req_id=0)
+        story = log.explain_request(0)
+        assert [e.kind for e in story] == [
+            EventKind.ARRIVAL, EventKind.PROVISION_START,
+            EventKind.CONTAINER_READY, EventKind.EXEC_START,
+            EventKind.EXEC_END, EventKind.EVICTION]
+
     def test_disabled_by_default(self):
         orch = Orchestrator([FunctionSpec("fn", 100.0, 500.0)],
                             LRUPolicy(),

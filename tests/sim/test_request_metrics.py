@@ -1,8 +1,9 @@
 """Unit tests for request records and metric aggregation."""
 
+import numpy as np
 import pytest
 
-from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.sim.metrics import MemorySample, MetricsCollector, SimulationResult
 from repro.sim.request import Request, StartType
 
 
@@ -92,6 +93,19 @@ class TestSimulationResult:
                     "avg_overhead_ratio", "avg_wait_ms", "requests"):
             assert key in summary
 
+    def test_empty_percentiles_are_zero(self):
+        # Regression: np.percentile raised IndexError on empty runs.
+        empty = SimulationResult([])
+        assert empty.wait_percentile(50) == 0.0
+        assert empty.wait_percentile(99) == 0.0
+        assert empty.service_percentile(90) == 0.0
+
+    def test_empty_summary(self):
+        summary = SimulationResult([]).summary()
+        assert summary["p50_wait_ms"] == 0.0
+        assert summary["p99_wait_ms"] == 0.0
+        assert summary["requests"] == 0.0
+
     def test_collector_roundtrip(self):
         collector = MetricsCollector()
         collector.record_request(done())
@@ -104,3 +118,41 @@ class TestSimulationResult:
         assert result.peak_memory_mb == 512.0
         assert result.cold_starts_begun == 3
         assert result.wasted_cold_starts == 1
+
+
+class TestAvgMemory:
+    @staticmethod
+    def result_for(points):
+        return SimulationResult(
+            [], memory_samples=[MemorySample(t, v) for t, v in points])
+
+    def test_time_weighted_not_sample_weighted(self):
+        # Regression: 100 MB held for 1000 ms then dropping to 0 over a
+        # final 10 ms sliver must average near 100, not the unweighted
+        # sample mean of ~66.7.
+        res = self.result_for([(0.0, 100.0), (1000.0, 100.0), (1010.0, 0.0)])
+        expected = (100.0 * 1000.0 + 50.0 * 10.0) / 1010.0
+        assert res.avg_memory_mb == pytest.approx(expected)
+        assert res.avg_memory_mb > 95.0
+
+    def test_uniform_samples_match_trapezoid(self):
+        # On a uniform grid the trapezoid mean is exactly
+        # np.trapezoid / span, and for a linear ramp it equals the
+        # plain sample mean — the old behaviour is preserved there.
+        times = [0.0, 1000.0, 2000.0, 3000.0]
+        values = [10.0, 30.0, 50.0, 70.0]
+        res = self.result_for(zip(times, values))
+        assert res.avg_memory_mb == pytest.approx(
+            float(np.trapezoid(values, times)) / 3000.0)
+        assert res.avg_memory_mb == pytest.approx(float(np.mean(values)))
+
+    def test_constant_series_is_the_constant(self):
+        res = self.result_for([(t, 42.0) for t in (0.0, 5.0, 1000.0)])
+        assert res.avg_memory_mb == 42.0
+
+    def test_degenerate_inputs(self):
+        assert self.result_for([(5.0, 7.0)]).avg_memory_mb == 7.0
+        # All samples at one instant: fall back to the plain mean.
+        same_t = self.result_for([(1.0, 4.0), (1.0, 8.0)])
+        assert same_t.avg_memory_mb == pytest.approx(6.0)
+        assert self.result_for([]).avg_memory_mb == 0.0

@@ -136,6 +136,97 @@ class TestSweepCLI:
                      "--policies", "Bogus", "--quiet"])
         assert code == 2
 
+    def test_events_dir_writes_per_cell_jsonl(self, tmp_path, capsys):
+        import json
+
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        assert main(self.ARGS + ["--jobs", "1",
+                                 "--events-dir", str(serial)]) == 0
+        assert main(self.ARGS + ["--jobs", "2",
+                                 "--events-dir", str(parallel)]) == 0
+        capsys.readouterr()
+
+        def load(directory):
+            files = sorted(directory.glob("*.jsonl"))
+            assert len(files) == 4   # 2 policies x 2 capacities
+            out = {}
+            for path in files:
+                events = [json.loads(line)
+                          for line in path.read_text().splitlines()]
+                assert events   # every executed cell logged something
+                # Rebase container ids (process-global counter).
+                base = next((e["cid"] for e in events if "cid" in e),
+                            0)
+                out[path.name] = [
+                    (e["t"], e["kind"], e["func"],
+                     e["cid"] - base if "cid" in e else None,
+                     e.get("rid"))
+                    for e in events]
+            return out
+
+        serial_events = load(serial)
+        parallel_events = load(parallel)
+        # Same cells, same (normalised) event streams either way.
+        assert serial_events == parallel_events
+
+
+class TestTelemetryCLI:
+    ARGS = ["trace", "--preset", "azure", "--requests", "1500",
+            "--seed", "3", "--policy", "CIDRE", "--capacity-gb", "2"]
+
+    def test_trace_writes_all_artifacts(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        chrome = tmp_path / "trace.json"
+        series = tmp_path / "series.json"
+        code = main(self.ARGS + ["--events-out", str(events),
+                                 "--chrome-trace", str(chrome),
+                                 "--timeseries-out", str(series),
+                                 "--ring-capacity", "512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events recorded" in out
+        assert "Chrome trace" in out
+        assert "avg_overhead_ratio" in out
+
+        lines = events.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert {"t", "kind", "func"} <= set(first)
+
+        with open(chrome) as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]
+
+        with open(series) as fh:
+            recorded = json.load(fh)
+        assert recorded["cluster"]["times_ms"]
+        assert recorded["functions"]
+
+    def test_trace_unknown_policy(self, capsys):
+        code = main(["trace", "--preset", "azure", "--requests", "1500",
+                     "--policy", "Nope"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_explain_prints_latency_story(self, capsys):
+        code = main(["explain", "7", "--preset", "azure",
+                     "--requests", "1500", "--seed", "3",
+                     "--policy", "CIDRE", "--capacity-gb", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r7" in out
+        assert "arrival" in out
+        assert "exec_start" in out and "exec_end" in out
+
+    def test_explain_unknown_request(self, capsys):
+        code = main(["explain", "999999", "--preset", "azure",
+                     "--requests", "1500", "--seed", "3"])
+        assert code == 2
+        assert "no request with id" in capsys.readouterr().err
+
 
 class TestCLIExtras:
     def test_stats_command(self, capsys):
