@@ -47,6 +47,34 @@ print(f"telemetry artifacts OK: {len(events)} events, "
       f"{len(series['functions'])} functions")
 EOF
 
+echo "== decision-audit smoke (audit verb artifacts) =="
+python -m repro.cli audit --preset azure --requests 1500 --seed 3 \
+    --policy CIDRE --capacity-gb 2 \
+    --audit-out "$tmpdir/audit.jsonl" \
+    --metrics-out "$tmpdir/metrics.prom" > /dev/null
+python - "$tmpdir" <<'EOF'
+import json, sys
+tmpdir = sys.argv[1]
+records = [json.loads(line)
+           for line in open(f"{tmpdir}/audit.jsonl") if line.strip()]
+assert records, "no audit records streamed"
+kinds = {r["kind"] for r in records}
+assert kinds <= {"css_scale", "gate_flip", "eviction_decision"}, kinds
+assert all("t" in r for r in records)
+prom = open(f"{tmpdir}/metrics.prom").read()
+assert "# TYPE" in prom and "repro_requests_total" in prom
+print(f"audit artifacts OK: {len(records)} records "
+      f"({len(kinds)} kinds), metrics exposition non-empty")
+EOF
+
+echo "== sweep --progress heartbeat smoke (--jobs 2) =="
+python -m repro.cli sweep --preset azure --requests 1500 --seed 3 \
+    --policies TTL,FaasCache --capacities 2,4 --jobs 2 --progress \
+    2> "$tmpdir/progress.log" > /dev/null
+grep -q "eta" "$tmpdir/progress.log"
+test "$(grep -c "eta" "$tmpdir/progress.log")" -eq 4
+echo "progress heartbeat OK: one line per cell"
+
 echo "== replay throughput smoke (ci-smoke vs committed baseline) =="
 # Gate on the committed trajectory point: fail if the smoke scenario's
 # events/sec drops below half of BENCH_throughput.json's recorded value.

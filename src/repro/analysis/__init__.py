@@ -1,5 +1,8 @@
 """Trace and result analytics: CDFs, what-if studies, opportunity space."""
 
+from repro.analysis.audit import (EvictionBalance, eviction_balance,
+                                  expensive_decisions, gate_flip_rows,
+                                  gate_flip_timeline, gate_flips)
 from repro.analysis.cdf import ECDF, crossover, fraction_below
 from repro.analysis.comparison import (Comparison, best_policy, compare,
                                        comparison_table)
@@ -16,7 +19,9 @@ from repro.analysis.whatif import (QueueAlwaysFaasCache, QueueLengthResult,
                                    tradeoff_analysis)
 
 __all__ = [
-    "ECDF", "OpportunityResult", "QueueAlwaysFaasCache",
+    "ECDF", "EvictionBalance", "OpportunityResult", "QueueAlwaysFaasCache",
+    "eviction_balance", "expensive_decisions", "gate_flip_rows",
+    "gate_flip_timeline", "gate_flips",
     "Comparison", "ascii_cdf", "ascii_series", "best_policy", "compare",
     "comparison_table",
     "QueueLengthResult", "TradeoffProbeFaasCache", "TradeoffResult",

@@ -82,6 +82,24 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_registry(path: Optional[str]):
+    """A fresh :class:`repro.obs.MetricsRegistry` when ``path`` is set."""
+    if not path:
+        return None
+    from repro.obs import MetricsRegistry
+    return MetricsRegistry()
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Save a metrics snapshot: Prometheus text for ``.prom``/``.txt``
+    paths, JSON otherwise."""
+    if path.endswith((".prom", ".txt")):
+        registry.save_prometheus(path)
+    else:
+        registry.save_json(path)
+    print(f"wrote metrics to {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     trace = _build_trace(args)
     table = policy_factories()
@@ -93,13 +111,15 @@ def cmd_run(args: argparse.Namespace) -> int:
                               workers=args.workers,
                               threads_per_container=args.threads,
                               reference_impl=args.reference)
+    metrics = _metrics_registry(args.metrics_out)
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = run_one(trace, table[args.policy], config)
+        result = run_one(trace, table[args.policy], config,
+                         metrics=metrics)
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(25)
@@ -107,11 +127,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             profiler.dump_stats(args.profile_out)
             print(f"wrote profile to {args.profile_out}", file=sys.stderr)
     else:
-        result = run_one(trace, table[args.policy], config)
+        result = run_one(trace, table[args.policy], config,
+                         metrics=metrics)
     print(render_table(
         ["metric", "value"],
         sorted(result.summary().items()),
         title=f"{args.policy} on {trace.name} @ {args.capacity_gb} GB"))
+    if metrics is not None:
+        _write_metrics(metrics, args.metrics_out)
     return 0
 
 
@@ -148,9 +171,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         sinks.append(spans)
     recorder = (TimeSeriesRecorder(args.sample_interval_ms)
                 if args.timeseries_out else None)
+    metrics = _metrics_registry(args.metrics_out)
     log = EventLog(capacity=args.ring_capacity, sinks=sinks)
     experiment = run_one(trace, factory, config, event_log=log,
-                         recorder=recorder)
+                         recorder=recorder, metrics=metrics)
     log.close()
 
     result = experiment.result
@@ -170,6 +194,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {len(recorder.cluster)} samples x "
               f"{len(recorder.functions)} functions to "
               f"{args.timeseries_out}")
+    if metrics is not None:
+        _write_metrics(metrics, args.metrics_out)
     print(render_table(
         ["metric", "value"], sorted(result.summary().items()),
         title=f"{args.policy} on {trace.name} @ {args.capacity_gb} GB"))
@@ -202,6 +228,88 @@ def cmd_explain(args: argparse.Namespace) -> int:
           f"executed {req.exec_ms:.3f} ms on c{req.container_id}")
     print()
     print(log.render(log.explain_request(args.req_id)))
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Replay with the decision audit attached and explain the policy:
+    gate-flip timeline, eviction balance (Observation 2), and the most
+    expensive decisions."""
+    from repro.analysis.audit import (eviction_balance,
+                                      expensive_decisions, gate_flip_rows)
+    from repro.obs import AuditJsonlSink, DecisionAudit
+
+    trace = _build_trace(args)
+    factory = _resolve_policy(args.policy)
+    if factory is None:
+        return 2
+    config = SimulationConfig(capacity_gb=args.capacity_gb,
+                              workers=args.workers,
+                              threads_per_container=args.threads)
+    sinks = [AuditJsonlSink(args.audit_out)] if args.audit_out else []
+    audit = DecisionAudit(sinks=sinks)
+    metrics = _metrics_registry(args.metrics_out)
+    experiment = run_one(trace, factory, config, audit=audit,
+                         metrics=metrics)
+    audit.close()
+
+    result = experiment.result
+    records = list(audit.records)
+    by_kind = {}
+    for record in records:
+        by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+    kinds = ", ".join(f"{count} {kind}"
+                      for kind, count in sorted(by_kind.items())) or "none"
+    print(f"replayed {result.total} requests "
+          f"({args.policy} on {trace.name} @ {args.capacity_gb:g} GB): "
+          f"{len(records)} decision records ({kinds})")
+    if sinks:
+        print(f"wrote {sinks[0].emitted} records to {sinks[0].path}")
+    if metrics is not None:
+        _write_metrics(metrics, args.metrics_out)
+
+    flip_rows = gate_flip_rows(records, limit=args.flips)
+    if flip_rows:
+        total_flips = by_kind.get("gate_flip", 0)
+        shown = (f"last {len(flip_rows)} of {total_flips}"
+                 if len(flip_rows) < total_flips else f"{total_flips}")
+        print()
+        print(render_table(
+            ["t_ms", "func", "gate", "reason", "trigger"], flip_rows,
+            title=f"CSS gate flips ({shown})"))
+    else:
+        print("\nno gate flips (policy has no CSS gate, or it never "
+              "tripped)")
+
+    balance = eviction_balance(records)
+    if balance.total:
+        print()
+        print(render_table(
+            ["func", "evictions", "share"],
+            [[func, count, f"{share:.1%}"]
+             for func, count, share in balance.rows()],
+            title=f"eviction balance ({balance.total} victims over "
+                  f"{balance.decisions} REPLACE decisions)"))
+        print(f"imbalance: max per-function share {balance.max_share:.1%}")
+    else:
+        print("\nno audited eviction decisions")
+
+    expensive = expensive_decisions(records, k=args.top)
+    if expensive:
+        rows = []
+        for cost, record in expensive:
+            if record["kind"] == "eviction_decision":
+                what = (f"evicted {len(record['victims'])} container(s)"
+                        + (f" for {record['for_func']}"
+                           if "for_func" in record else ""))
+            else:
+                what = (f"{record['func']} r{record['rid']} kept queued "
+                        f"at T_d={record['t_d']:.0f} ms")
+            rows.append([record["t"], record["kind"], what, cost])
+        print()
+        print(render_table(
+            ["t_ms", "kind", "decision", "cost_ms"], rows,
+            title=f"top {len(rows)} most expensive decisions"))
     return 0
 
 
@@ -327,7 +435,7 @@ def _sweep_markdown(results, trace_name: str) -> str:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a parallel policy x capacity sweep with a timing report."""
-    from repro.experiments.parallel import ParallelRunner
+    from repro.experiments.parallel import ParallelRunner, ProgressHeartbeat
 
     trace = _build_trace(args)
     table = policy_factories()
@@ -344,10 +452,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[{done}/{total}] {cell.policy_name} @ "
               f"{cell.capacity_gb:g} GB ({status})", file=sys.stderr)
 
+    if args.progress:
+        progress_fn = ProgressHeartbeat()
+    elif args.quiet:
+        progress_fn = None
+    else:
+        progress_fn = progress
+
     runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir,
-                            collect="summary",
-                            progress=None if args.quiet else progress,
-                            events_dir=args.events_dir)
+                            collect="summary", progress=progress_fn,
+                            events_dir=args.events_dir,
+                            metrics_dir=args.metrics_out)
     results = runner.capacity_sweep(
         trace, names, capacities, seed=args.seed,
         workers=args.workers, threads_per_container=args.threads)
@@ -369,6 +484,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ["policy", "GB", "cell time"], report.rows(),
         title="per-cell wall clock"))
     print(report.render())
+    if args.metrics_out:
+        print(f"wrote per-cell metrics snapshots to {args.metrics_out}/")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(_sweep_markdown(results, trace.name))
@@ -446,6 +563,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--reference", action="store_true",
                      help="use the pre-index reference implementations "
                           "(scan/sort hot path; bit-identical results)")
+    run.add_argument("--metrics-out", default=None,
+                     help="write a metrics snapshot here (Prometheus "
+                          "text for .prom/.txt, JSON otherwise)")
     run.set_defaults(func=cmd_run)
 
     tr = sub.add_parser(
@@ -470,7 +590,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     tr.add_argument("--ring-capacity", type=int, default=65_536,
                     help="events kept in memory (oldest rotate out; "
                          "sinks still see everything)")
+    tr.add_argument("--metrics-out", default=None,
+                    help="write a metrics snapshot here (Prometheus "
+                         "text for .prom/.txt, JSON otherwise)")
     tr.set_defaults(func=cmd_trace)
+
+    audit = sub.add_parser(
+        "audit", help="replay with the decision audit: gate-flip "
+                      "timeline, eviction balance, expensive decisions")
+    _add_trace_args(audit)
+    audit.add_argument("--policy", default="CIDRE")
+    audit.add_argument("--capacity-gb", type=float, default=100.0)
+    audit.add_argument("--workers", type=int, default=1)
+    audit.add_argument("--threads", type=int, default=1)
+    audit.add_argument("--audit-out", default=None,
+                       help="stream decision records here as JSON Lines")
+    audit.add_argument("--metrics-out", default=None,
+                       help="write a metrics snapshot here (Prometheus "
+                            "text for .prom/.txt, JSON otherwise)")
+    audit.add_argument("--flips", type=int, default=20,
+                       help="gate flips shown in the timeline "
+                            "(0 = all, default 20)")
+    audit.add_argument("--top", type=int, default=5,
+                       help="most expensive decisions shown (default 5)")
+    audit.set_defaults(func=cmd_audit)
 
     explain = sub.add_parser(
         "explain", help="replay and explain one request's latency story")
@@ -532,12 +675,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep.add_argument("--events-dir", default=None,
                        help="stream each executed cell's event log to "
                             "a JSONL file in this directory")
+    sweep.add_argument("--metrics-out", default=None,
+                       help="directory for per-cell metrics snapshots "
+                            "(one JSON file per executed cell)")
     sweep.add_argument("--workers", type=int, default=1)
     sweep.add_argument("--threads", type=int, default=1)
     sweep.add_argument("--out", default=None,
                        help="write full-precision markdown results here")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
+    sweep.add_argument("--progress", action="store_true",
+                       help="heartbeat progress on stderr: cells "
+                            "done/total, per-cell wall time, ETA "
+                            "(overrides --quiet)")
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(

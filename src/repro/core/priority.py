@@ -89,22 +89,50 @@ class CIPEvictionMixin(OrchestrationPolicy):
                 + freq * spec.cold_start_ms / (max(spec.memory_mb, 1e-9) * k))
 
     def priorities(self, containers, now: float):
-        """Batch form: compute each function's ``|F(c)|`` and ``Freq`` once."""
+        """Batch form: compute each function's ``|F(c)|`` and ``Freq`` once.
+
+        ``Freq`` is function-global (Eq. 4), but ``|F(c)|`` counts warm
+        containers *on the container's own worker* — same-function
+        containers on different workers see different counts — so the
+        count memo is keyed by ``(func, worker)``, exactly matching what
+        the scalar :meth:`priority` computes for each container.
+        """
         counts = {}
         freqs = {}
         out = []
         for container in containers:
             func = container.spec.name
-            if func not in counts:
-                worker = container.worker
-                counts[func] = max(worker.warm_count(func), 1) \
+            worker = container.worker
+            key = (func, None if worker is None else worker.worker_id)
+            k = counts.get(key)
+            if k is None:
+                k = counts[key] = max(worker.warm_count(func), 1) \
                     if worker is not None else 1
-                freqs[func] = self.freq_per_minute(func, now)
+            freq = freqs.get(func)
+            if freq is None:
+                freq = freqs[func] = self.freq_per_minute(func, now)
             spec = container.spec
             out.append(container.clock
-                       + freqs[func] * spec.cold_start_ms
-                       / (max(spec.memory_mb, 1e-9) * counts[func]))
+                       + freq * spec.cold_start_ms
+                       / (max(spec.memory_mb, 1e-9) * k))
         return out
+
+    def priority_components(self, container: "Container",
+                            now: float) -> Dict:
+        """Eq. 3 term decomposition for one container (audit records)."""
+        spec = container.spec
+        freq = self.freq_per_minute(spec.name, now)
+        worker = container.worker
+        k = max(worker.warm_count(spec.name), 1) if worker is not None else 1
+        return {
+            "priority": container.clock
+            + freq * spec.cold_start_ms / (max(spec.memory_mb, 1e-9) * k),
+            "clock": container.clock,
+            "freq_per_min": freq,
+            "cost_ms": spec.cold_start_ms,
+            "size_mb": spec.memory_mb,
+            "warm_count": k,
+        }
 
     # -- clock discipline ----------------------------------------------------
 

@@ -166,14 +166,26 @@ class CSSScalingMixin(OrchestrationPolicy):
         t_p = self.estimated_cold_ms(func, now)
         t_i = self.last_idle_ms(func, now)
         t_d = self.last_delay_ms(func, now)
+        observing = self.audit is not None or self.metrics is not None
+        extra = {} if self.audit is not None else None
 
         if self.bss_enabled(func):
-            if t_i is not None and t_e is not None and t_i > t_e \
-                    and not self._demand_exceeds_pool(request, worker):
-                # The last speculative cold start sat idle longer than one
-                # execution: it was wasteful. Disable the cold-start path.
-                self._bss_enabled[func] = False
-                return ScalingDecision.queue()
+            if t_i is not None and t_e is not None and t_i > t_e:
+                demand = self._demand_exceeds_pool(request, worker)
+                if extra is not None:
+                    extra["demand_exceeds_pool"] = demand
+                if not demand:
+                    # The last speculative cold start sat idle longer than
+                    # one execution: it was wasteful. Disable the
+                    # cold-start path.
+                    self._set_bss(func, False, now, "T_i>T_e", "scale")
+                    if observing:
+                        self._note_scale(func, request, now, "disable",
+                                         "queue", t_i, t_e, t_d, t_p, extra)
+                    return ScalingDecision.queue()
+            if observing:
+                self._note_scale(func, request, now, "speculate",
+                                 "speculate", t_i, t_e, t_d, t_p, extra)
             return ScalingDecision.speculate()
 
         # The queued backlog foreshadows this request's delayed cost: with
@@ -181,25 +193,78 @@ class CSSScalingMixin(OrchestrationPolicy):
         # ceil((W+1)/B) executions. Fold that into T_d so the cold path
         # reopens as soon as the queue outgrows the pool, instead of only
         # after some request has already suffered a full T_p of waiting.
-        if t_e is not None and self.live_delay_signal:
+        if t_e is not None and self.live_delay_signal \
+                and self.ctx is not None:
             waiting = self.ctx.outstanding_waiters(func)
             busy = max(worker.busy_count(func), 1)
             projected = math.ceil((waiting + 1) / busy) * t_e
+            if extra is not None:
+                extra["projection"] = {"waiting": waiting, "busy": busy,
+                                       "projected_ms": projected}
             t_d = projected if t_d is None else max(t_d, projected)
         if t_d is not None and t_p is not None and t_d > t_p:
             # Delayed warm starts now cost more than a cold start: the
             # function needs more containers. Fall back to BSS and cover
             # the backlog that accumulated while the cold path was off.
-            self._bss_enabled[func] = True
+            self._set_bss(func, True, now, "T_d>T_p", "scale")
+            if observing:
+                # Audit the decision before covering the backlog so the
+                # eviction records it may trigger follow their cause.
+                self._note_scale(func, request, now, "reopen", "speculate",
+                                 t_i, t_e, t_d, t_p, extra)
             self._cover_backlog(func)
             return ScalingDecision.speculate()
+        if observing:
+            self._note_scale(func, request, now, "stay_queued", "queue",
+                             t_i, t_e, t_d, t_p, extra)
         return ScalingDecision.queue()
+
+    # ------------------------------------------------------------------
+    # Gate transitions and decision audit
+
+    def _set_bss(self, func: str, enabled: bool, now: float, reason: str,
+                 trigger: str) -> None:
+        """Flip the per-function gate, noting the transition."""
+        self._bss_enabled[func] = enabled
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_bss_gate_flips_total",
+                "CSS gate transitions (Algorithm 1 lines 5 and 11)",
+                labelnames=("func", "to"),
+            ).labels(func=func, to="on" if enabled else "off").inc()
+        if self.audit is not None:
+            self.audit.emit({"kind": "gate_flip", "t": now, "func": func,
+                             "enabled": enabled, "reason": reason,
+                             "trigger": trigger})
+
+    def _note_scale(self, func: str, request: "Request", now: float,
+                    branch: str, decision: str, t_i, t_e, t_d, t_p,
+                    extra) -> None:
+        """One ``css_scale`` record / branch counter per scale() call."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_css_scale_total",
+                "CSS scale() calls by Algorithm 1 branch",
+                labelnames=("branch",),
+            ).labels(branch=branch).inc()
+        if self.audit is None:
+            return
+        record = {"kind": "css_scale", "t": now, "func": func,
+                  "rid": request.req_id, "branch": branch,
+                  "decision": decision,
+                  "bss_enabled": self.bss_enabled(func)}
+        for key, value in (("t_i", t_i), ("t_e", t_e),
+                           ("t_d", t_d), ("t_p", t_p)):
+            if value is not None:
+                record[key] = value
+        if extra:
+            record.update(extra)
+        self.audit.emit(record)
 
     def _cover_backlog(self, func: str) -> None:
         """Provision speculative containers for queued requests that no
         in-flight provision is going to serve."""
-        assert self.ctx is not None
-        if not self.cover_backlog:
+        if self.ctx is None or not self.cover_backlog:
             return
         backlog = self.ctx.outstanding_waiters(func)
         in_flight = self.ctx.provisions_in_flight(func)
@@ -217,7 +282,8 @@ class CSSScalingMixin(OrchestrationPolicy):
         queued request before this one runs — the opposite of "sufficient
         warm containers", so the cold path must stay on.
         """
-        assert self.ctx is not None
+        if self.ctx is None:
+            return False
         waiting = self.ctx.outstanding_waiters(request.func)
         busy = worker.busy_count(request.func)
         return waiting >= busy
@@ -246,7 +312,7 @@ class CSSScalingMixin(OrchestrationPolicy):
             if not self.bss_enabled(func):
                 if t_d is None or t_p is None or t_d <= t_p:
                     continue
-                self._bss_enabled[func] = True
+                self._set_bss(func, True, now, "T_d>T_p", "maintenance")
             # BSS (re-)enabled: cover the backlog with speculative
             # provisions, one per queued request not already matched by an
             # in-flight provision.

@@ -41,6 +41,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -212,20 +213,43 @@ def _cell_event_log(events_dir, job: JobSpec):
                     sinks=(JsonlSink(cell_events_path(events_dir, job)),))
 
 
+def cell_metrics_path(metrics_dir: Union[str, Path],
+                      job: JobSpec) -> Path:
+    """Where one sweep cell writes its metrics-registry JSON snapshot.
+
+    Same naming scheme as :func:`cell_events_path`, ``.metrics.json``
+    suffix."""
+    return Path(metrics_dir) / (f"cell{job.index:04d}_{job.policy_name}"
+                                f"_cap{job.config.capacity_gb:g}"
+                                ".metrics.json")
+
+
+def _cell_metrics(metrics_dir):
+    """A fresh per-cell registry when metrics capture is on."""
+    if metrics_dir is None:
+        return None
+    from repro.obs import MetricsRegistry
+    return MetricsRegistry()
+
+
 # ======================================================================
 # Worker-side plumbing (module-level so it pickles under spawn)
 
 _WORKER_TRACE: Optional[Trace] = None
 _WORKER_COLLECT: str = "full"
 _WORKER_EVENTS_DIR: Optional[str] = None
+_WORKER_METRICS_DIR: Optional[str] = None
 
 
 def _init_worker(trace: Trace, collect: str,
-                 events_dir: Optional[str] = None) -> None:
-    global _WORKER_TRACE, _WORKER_COLLECT, _WORKER_EVENTS_DIR
+                 events_dir: Optional[str] = None,
+                 metrics_dir: Optional[str] = None) -> None:
+    global _WORKER_TRACE, _WORKER_COLLECT, _WORKER_EVENTS_DIR, \
+        _WORKER_METRICS_DIR
     _WORKER_TRACE = trace
     _WORKER_COLLECT = collect
     _WORKER_EVENTS_DIR = events_dir
+    _WORKER_METRICS_DIR = metrics_dir
 
 
 def _run_cell(job: JobSpec) -> Tuple[int, str, object, float]:
@@ -233,10 +257,13 @@ def _run_cell(job: JobSpec) -> Tuple[int, str, object, float]:
     start = time.perf_counter()
     factory = policy_factories()[job.policy_name]
     event_log = _cell_event_log(_WORKER_EVENTS_DIR, job)
+    metrics = _cell_metrics(_WORKER_METRICS_DIR)
     experiment = run_one(_WORKER_TRACE, factory, job.config,
-                         event_log=event_log)
+                         event_log=event_log, metrics=metrics)
     if event_log is not None:
         event_log.close()
+    if metrics is not None:
+        metrics.save_json(cell_metrics_path(_WORKER_METRICS_DIR, job))
     elapsed = time.perf_counter() - start
     if _WORKER_COLLECT == "summary":
         payload = (experiment.result.summary(),
@@ -298,6 +325,29 @@ class SweepReport:
                 f"(~{self.speedup:.1f}x vs serial)")
 
 
+class ProgressHeartbeat:
+    """A progress callback printing cells done/total, per-cell wall time
+    and an ETA as each cell lands (the sweep ``--progress`` flag).
+
+    The ETA is the naive linear extrapolation ``elapsed / done *
+    remaining`` — good enough for a homogeneous grid, refreshed on every
+    landed cell either way.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._start = time.perf_counter()
+
+    def __call__(self, done: int, total: int, cell: CellTiming) -> None:
+        elapsed = time.perf_counter() - self._start
+        eta = elapsed / done * (total - done) if done else 0.0
+        status = "cache hit" if cell.cached else f"{cell.wall_s:.2f}s"
+        print(f"[{done}/{total}] {cell.policy_name} @ "
+              f"{cell.capacity_gb:g} GB ({status}) | "
+              f"elapsed {elapsed:.1f}s, eta {eta:.1f}s",
+              file=self.stream, flush=True)
+
+
 # ======================================================================
 # The runner
 
@@ -332,6 +382,11 @@ class ParallelRunner:
         ``cell_events_path(events_dir, job)`` as JSON Lines (O(1) extra
         memory per worker). Cache hits skip simulation and therefore
         write no event file — clear ``cache_dir`` to trace everything.
+    metrics_dir:
+        Optional directory for per-cell metrics: every *executed* cell
+        attaches a fresh :class:`repro.obs.MetricsRegistry` and writes
+        its JSON snapshot to ``cell_metrics_path(metrics_dir, job)``.
+        Same cache-hit caveat as ``events_dir``.
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -339,7 +394,8 @@ class ParallelRunner:
                  cache_dir: Optional[Union[str, Path]] = None,
                  collect: str = "full",
                  progress: Optional[ProgressFn] = None,
-                 events_dir: Optional[Union[str, Path]] = None):
+                 events_dir: Optional[Union[str, Path]] = None,
+                 metrics_dir: Optional[Union[str, Path]] = None):
         if collect not in ("full", "summary"):
             raise ValueError(f"unknown collect mode {collect!r}")
         self.jobs = max(int(jobs if jobs is not None
@@ -352,6 +408,7 @@ class ParallelRunner:
         self.collect = collect
         self.progress = progress
         self.events_dir = Path(events_dir) if events_dir else None
+        self.metrics_dir = Path(metrics_dir) if metrics_dir else None
         #: Timing/caching record of the most recent sweep.
         self.last_report: Optional[SweepReport] = None
 
@@ -445,16 +502,23 @@ class ParallelRunner:
             return
         if self.events_dir is not None:
             self.events_dir.mkdir(parents=True, exist_ok=True)
+        if self.metrics_dir is not None:
+            self.metrics_dir.mkdir(parents=True, exist_ok=True)
         if self.jobs == 1 or len(to_run) == 1:
             # Serial fallback: same code path the workers run, in-process.
             table = policy_factories()
             for job in to_run:
                 start = time.perf_counter()
                 event_log = _cell_event_log(self.events_dir, job)
+                metrics = _cell_metrics(self.metrics_dir)
                 experiment = run_one(trace, table[job.policy_name],
-                                     job.config, event_log=event_log)
+                                     job.config, event_log=event_log,
+                                     metrics=metrics)
                 if event_log is not None:
                     event_log.close()
+                if metrics is not None:
+                    metrics.save_json(
+                        cell_metrics_path(self.metrics_dir, job))
                 elapsed = time.perf_counter() - start
                 if self.collect == "summary":
                     payload = (experiment.result.summary(),
@@ -467,8 +531,11 @@ class ParallelRunner:
         workers = min(self.jobs, len(to_run))
         events_dir = (str(self.events_dir)
                       if self.events_dir is not None else None)
+        metrics_dir = (str(self.metrics_dir)
+                       if self.metrics_dir is not None else None)
         with ctx.Pool(processes=workers, initializer=_init_worker,
-                      initargs=(trace, self.collect, events_dir)) as pool:
+                      initargs=(trace, self.collect, events_dir,
+                                metrics_dir)) as pool:
             # Ordered, streaming collection: one in-flight result object
             # per finished cell, never the whole grid at once.
             for item in pool.imap(_run_cell, to_run, chunksize=1):

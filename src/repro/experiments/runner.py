@@ -40,18 +40,22 @@ class ExperimentResult:
 
 def run_one(trace: Trace, factory: PolicyFactory,
             config: Optional[SimulationConfig] = None,
-            event_log=None, recorder=None) -> ExperimentResult:
+            event_log=None, recorder=None, audit=None,
+            metrics=None) -> ExperimentResult:
     """Run one policy over one trace.
 
-    ``event_log`` / ``recorder`` are optional telemetry attachments
-    (:class:`repro.sim.EventLog`,
-    :class:`repro.sim.telemetry.TimeSeriesRecorder`) passed through to
-    the orchestrator; they observe the run without changing its outcome.
+    ``event_log`` / ``recorder`` / ``audit`` / ``metrics`` are optional
+    observability attachments (:class:`repro.sim.EventLog`,
+    :class:`repro.sim.telemetry.TimeSeriesRecorder`,
+    :class:`repro.obs.DecisionAudit`, :class:`repro.obs.MetricsRegistry`)
+    passed through to the orchestrator; they observe the run without
+    changing its outcome.
     """
     config = config or SimulationConfig()
     policy = factory(trace)
     orchestrator = Orchestrator(trace.functions, policy, config,
-                                event_log=event_log, recorder=recorder)
+                                event_log=event_log, recorder=recorder,
+                                audit=audit, metrics=metrics)
     result = orchestrator.run(trace.fresh_requests())
     return ExperimentResult(policy.name, trace.name, config, result)
 

@@ -1,0 +1,24 @@
+"""Run observability: decision audit and metrics registry.
+
+:mod:`repro.obs` layers *decision provenance* over the run telemetry of
+:mod:`repro.sim.telemetry`: where the event log answers "what happened"
+(a request queued, a container died), the decision audit answers *why*
+(which ``T_i/T_e/T_d/T_p`` comparison closed the cold-start path, which
+Eq. 3 term made this container the eviction victim), and the metrics
+registry keeps cheap aggregate counters/gauges/histograms exportable as
+JSON or Prometheus text.
+
+Both attachments are opt-in and strictly read-only: runs with them on
+are bit-identical to runs with them off (pinned by differential tests).
+"""
+
+from repro.obs.audit import (AuditJsonlSink, AuditSink, DecisionAudit,
+                             RECORD_KINDS, read_audit_jsonl)
+from repro.obs.metrics import (Counter, DEFAULT_LATENCY_BUCKETS_MS, Gauge,
+                               Histogram, MetricsRegistry)
+
+__all__ = [
+    "AuditJsonlSink", "AuditSink", "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS", "DecisionAudit", "Gauge", "Histogram",
+    "MetricsRegistry", "RECORD_KINDS", "read_audit_jsonl",
+]

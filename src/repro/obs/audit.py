@@ -1,0 +1,136 @@
+"""Decision-audit probe: structured records explaining policy choices.
+
+A :class:`DecisionAudit` attached to a run receives one record per
+policy decision worth explaining:
+
+``css_scale``
+    Every :meth:`CSSScalingMixin.scale` call — the four window stats
+    ``T_i/T_e/T_d/T_p`` behind Algorithm 1, the branch taken
+    (``speculate`` / ``disable`` / ``reopen`` / ``stay_queued``), the
+    post-call ``bss_enabled`` state, and (when evaluated) the
+    backlog-projection inputs.
+
+``gate_flip``
+    Each per-function ``bss_enabled`` transition, with timestamp, the
+    comparison that caused it (``T_i>T_e`` or ``T_d>T_p``) and whether
+    it fired from ``scale()`` or maintenance.
+
+``eviction_decision``
+    Each base ``make_room`` REPLACE decision — every victim's Eq. 3
+    decomposition (``clock``, ``freq_per_min``, ``cost_ms``,
+    ``size_mb``, ``warm_count`` = ``|F(c)|``, final ``priority``) plus
+    a ranking snapshot of the surviving candidates.
+
+Records are plain dicts (JSON-ready, compact keys mirroring
+``event_to_dict``) kept in an in-memory ring and optionally streamed to
+:class:`AuditSink`\\ s — the JSONL sidecar sink mirrors
+:class:`repro.sim.telemetry.JsonlSink`. The audit is strictly
+read-only: attaching one leaves runs bit-identical to unaudited runs
+(pinned by ``tests/obs/test_audit_differential.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = ["AuditSink", "AuditJsonlSink", "DecisionAudit",
+           "RECORD_KINDS", "read_audit_jsonl"]
+
+#: Every record kind a :class:`DecisionAudit` can emit.
+RECORD_KINDS = ("css_scale", "gate_flip", "eviction_decision")
+
+
+class AuditSink:
+    """Receives audit records as they are emitted.
+
+    Same contract as :class:`repro.sim.telemetry.EventSink`, but for
+    decision records (plain dicts) instead of lifecycle events.
+    """
+
+    def emit(self, record: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "AuditSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AuditJsonlSink(AuditSink):
+    """Streams audit records to a JSONL sidecar file, one per line."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w")
+        self.emitted = 0
+
+    def emit(self, record: Dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_audit_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Load the records written by :class:`AuditJsonlSink`."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class DecisionAudit:
+    """In-memory record ring + sink fan-out for policy decisions.
+
+    ``capacity=None`` keeps every record; a finite capacity keeps the
+    most recent ones (sinks still see the full stream, like
+    ``EventLog``'s ring/sink split).
+    """
+
+    def __init__(self, sinks: Sequence[AuditSink] = (),
+                 capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.records: Deque[Dict] = deque(maxlen=capacity)
+        self.recorded = 0
+        self._sinks: List[AuditSink] = list(sinks)
+
+    @property
+    def sinks(self) -> Sequence[AuditSink]:
+        return tuple(self._sinks)
+
+    def attach(self, sink: AuditSink) -> AuditSink:
+        self._sinks.append(sink)
+        return sink
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+        self.recorded += 1
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def of_kind(self, kind: str) -> List[Dict]:
+        return [r for r in self.records if r.get("kind") == kind]
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self.records)

@@ -124,6 +124,13 @@ class OrchestrationPolicy:
     #: Human-readable name used in result tables.
     name = "base"
 
+    #: Optional observability attachments (:mod:`repro.obs`), set by the
+    #: orchestrator before :meth:`bind`. Strictly read-only: policies feed
+    #: them but never consult them, so attaching either leaves runs
+    #: bit-identical (pinned by ``tests/obs/test_audit_differential.py``).
+    audit = None
+    metrics = None
+
     def __init__(self) -> None:
         self.ctx: Optional[PolicyContext] = None
 
@@ -163,6 +170,17 @@ class OrchestrationPolicy:
         """
         return [self.priority(c, now) for c in containers]
 
+    def priority_components(self, container: "Container",
+                            now: float) -> dict:
+        """Decomposition of :meth:`priority` for audit records.
+
+        The base policy's priority is a single recency term, so there is
+        nothing to decompose; CIP overrides this with the full Eq. 3
+        breakdown (``clock``, ``freq_per_min``, ``cost_ms``, ``size_mb``,
+        ``warm_count``).
+        """
+        return {"priority": self.priority(container, now)}
+
     def make_room(self, worker: "Worker", need_mb: float, now: float,
                   for_func: Optional[str] = None) -> bool:
         """Free at least ``need_mb`` on ``worker``; returns success.
@@ -184,16 +202,16 @@ class OrchestrationPolicy:
         if worker.free_mb >= need_mb:
             return True
         if worker.naive:
-            return self._make_room_reference(worker, need_mb, now)
+            return self._make_room_reference(worker, need_mb, now, for_func)
         # O(1) infeasibility check before ranking anything: under a burst
         # most capacity is busy and reclaiming everything still would not
         # fit — skip the priority ranking entirely.
         if worker.free_mb + worker.evictable_mb() < need_mb:
             return False
         candidates = list(worker.evictable_items())
+        ranked = self.priorities(candidates, now)
         heap = [(priority, c.container_id, c)
-                for priority, c in zip(self.priorities(candidates, now),
-                                       candidates)]
+                for priority, c in zip(ranked, candidates)]
         heapq.heapify(heap)
         freed = worker.free_mb
         chosen: List["Container"] = []
@@ -201,17 +219,22 @@ class OrchestrationPolicy:
             _, _, victim = heapq.heappop(heap)
             chosen.append(victim)
             freed += victim.memory_mb
+        if self.audit is not None or self.metrics is not None:
+            self._note_replace(worker, candidates, ranked, chosen, need_mb,
+                               now, for_func)
         for victim in chosen:
             self.ctx.evict(victim)
         return True
 
     def _make_room_reference(self, worker: "Worker", need_mb: float,
-                             now: float) -> bool:
+                             now: float,
+                             for_func: Optional[str] = None) -> bool:
         """Pre-index REPLACE: full stable sort of every candidate."""
         candidates = worker.evictable()
         if worker.free_mb + sum(c.memory_mb for c in candidates) < need_mb:
             return False
-        ranked = sorted(zip(self.priorities(candidates, now), candidates),
+        priorities = self.priorities(candidates, now)
+        ranked = sorted(zip(priorities, candidates),
                         key=lambda pair: pair[0])
         freed = worker.free_mb
         chosen: List["Container"] = []
@@ -222,9 +245,58 @@ class OrchestrationPolicy:
                 break
         if freed < need_mb:
             return False
+        if self.audit is not None or self.metrics is not None:
+            self._note_replace(worker, candidates, priorities, chosen,
+                               need_mb, now, for_func)
         for victim in chosen:
             self.ctx.evict(victim)
         return True
+
+    def _note_replace(self, worker: "Worker", candidates: List["Container"],
+                      priorities: List[float], chosen: List["Container"],
+                      need_mb: float, now: float,
+                      for_func: Optional[str]) -> None:
+        """Feed metrics/audit for one REPLACE decision (read-only).
+
+        Runs *before* the victims are evicted so the Eq. 3 components are
+        the values the ranking actually used (eviction updates the running
+        clock). Only the base ``make_room`` flows through here; policies
+        that override the whole procedure (CodeCrunch's compression,
+        RainbowCake's layer decay) do their reclaiming off-audit.
+        """
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_replace_decisions_total",
+                "make_room REPLACE decisions that evicted containers").inc()
+            self.metrics.counter(
+                "repro_replace_victims_total",
+                "Containers evicted by REPLACE decisions").inc(len(chosen))
+        if self.audit is None:
+            return
+        victims = []
+        for victim in chosen:
+            entry = {"cid": victim.container_id, "func": victim.spec.name,
+                     "mem_mb": victim.memory_mb}
+            entry.update(self.priority_components(victim, now))
+            victims.append(entry)
+        chosen_ids = {c.container_id for c in chosen}
+        survivors = sorted(
+            ({"cid": c.container_id, "func": c.spec.name, "priority": p}
+             for p, c in zip(priorities, candidates)
+             if c.container_id not in chosen_ids),
+            key=lambda s: (s["priority"], s["cid"]))
+        record = {
+            "kind": "eviction_decision",
+            "t": now,
+            "wid": worker.worker_id,
+            "need_mb": need_mb,
+            "freed_mb": sum(v["mem_mb"] for v in victims),
+            "victims": victims,
+            "survivors": survivors,
+        }
+        if for_func is not None:
+            record["for_func"] = for_func
+        self.audit.emit(record)
 
     # ------------------------------------------------------------------
     # Cost model

@@ -101,7 +101,7 @@ class Orchestrator:
                  policy: OrchestrationPolicy,
                  config: Optional[SimulationConfig] = None,
                  event_log: Optional["EventLog"] = None,
-                 recorder=None):
+                 recorder=None, audit=None, metrics=None):
         self.config = config or SimulationConfig()
         self.policy = policy
         #: Seeded RNG for stochastic policies (``ctx.rng``). The core
@@ -119,6 +119,17 @@ class Orchestrator:
         #: ``finish``). Strictly read-only observation: attaching one
         #: never changes simulation outcomes.
         self.recorder = recorder
+        #: Optional :class:`repro.obs.DecisionAudit` /
+        #: :class:`repro.obs.MetricsRegistry`. Like the recorder, strictly
+        #: read-only: attaching either never changes simulation outcomes
+        #: (pinned by ``tests/obs/test_audit_differential.py``).
+        self.audit = audit
+        self.metrics_registry = metrics
+        self._m_requests = self._m_starts = self._m_decisions = None
+        self._m_evictions = self._m_provisions = self._m_blocked = None
+        self._m_wait = self._m_used = None
+        if metrics is not None:
+            self._instrument(metrics)
         self.specs: Dict[str, FunctionSpec] = {f.name: f for f in functions}
         self._usage = _ClusterUsage()
         self._used_mb_cache = 0.0
@@ -138,7 +149,37 @@ class Orchestrator:
         self._pending: List[_PendingProvision] = []
         self._pending_by_func: Dict[str, int] = {}
         self._retry_scheduled = False
+        if audit is not None:
+            policy.audit = audit
+        if metrics is not None:
+            policy.metrics = metrics
         policy.bind(self)
+
+    def _instrument(self, metrics) -> None:
+        """Pre-register the orchestrator's instruments (hot-path handles)."""
+        self._m_requests = metrics.counter(
+            "repro_requests_total", "Requests replayed")
+        self._m_starts = metrics.counter(
+            "repro_starts_total", "Execution starts by start type",
+            labelnames=("type",))
+        self._m_decisions = metrics.counter(
+            "repro_scale_decisions_total",
+            "Validated scaling decisions (excludes the warm-start and "
+            "compressed-restore fast paths)", labelnames=("action",))
+        self._m_evictions = metrics.counter(
+            "repro_evictions_total", "Evictions by function",
+            labelnames=("func",))
+        self._m_provisions = metrics.counter(
+            "repro_provision_starts_total",
+            "Provisions begun, by kind", labelnames=("kind",))
+        self._m_blocked = metrics.counter(
+            "repro_blocked_provisions_total",
+            "Provisions deferred because make_room could not free memory")
+        self._m_wait = metrics.histogram(
+            "repro_request_wait_ms",
+            "Per-request wait between arrival and execution start")
+        self._m_used = metrics.gauge(
+            "repro_used_mb", "Cluster committed memory at the last sample")
 
     # ==================================================================
     # PolicyContext facade
@@ -208,6 +249,8 @@ class Orchestrator:
         # the waiters themselves stay in their function FIFO.
         self._committed.pop(container.container_id, None)
         self.metrics.evictions += 1
+        if self._m_evictions is not None:
+            self._m_evictions.labels(func=container.spec.name).inc()
         self._log(EventKind.EVICTION, container.spec.name,
                   container_id=container.container_id,
                   worker_id=worker.worker_id)
@@ -265,6 +308,8 @@ class Orchestrator:
         worker = self._dispatch(request.func)
         self._log(EventKind.ARRIVAL, request.func, req_id=request.req_id,
                   worker_id=worker.worker_id)
+        if self._m_requests is not None:
+            self._m_requests.inc()
         self.policy.on_request_arrival(request, worker, now)
 
         # Step 1a: true warm start on an idle container / free slot.
@@ -285,6 +330,8 @@ class Orchestrator:
         # Step 1b: no idle capacity — consult the scaling policy.
         decision = self.policy.scale(request, worker, now)
         decision = self._validate_decision(decision, request, worker)
+        if self._m_decisions is not None:
+            self._m_decisions.labels(action=decision.action.value).inc()
         waiter = _Waiter(request,
                          may_use_busy=decision.action is not ScalingAction.COLD,
                          committed=decision.target)
@@ -330,6 +377,8 @@ class Orchestrator:
                 spec, worker, waiter, speculative, prewarm))
             self._pending_by_func[spec.name] = \
                 self._pending_by_func.get(spec.name, 0) + 1
+            if self._m_blocked is not None:
+                self._m_blocked.inc()
             return None
         return self._begin_provision(spec, worker, waiter, speculative,
                                      prewarm)
@@ -350,11 +399,13 @@ class Orchestrator:
         else:
             self.metrics.cold_starts_begun += 1
         self.metrics.provisioned_mb += container.memory_mb
+        kind = "prewarm" if prewarm \
+            else ("speculative" if speculative else "bound")
         self._log(EventKind.PROVISION_START, spec.name,
-                  container_id=container.container_id,
-                  detail="prewarm" if prewarm
-                  else ("speculative" if speculative else "bound"),
+                  container_id=container.container_id, detail=kind,
                   worker_id=worker.worker_id)
+        if self._m_provisions is not None:
+            self._m_provisions.labels(kind=kind).inc()
         self.policy.on_provision_started(container, now)
         self.sim.schedule(cost, self._on_ready, container, waiter)
         return container
@@ -452,6 +503,8 @@ class Orchestrator:
                   if container.worker else None)
         if self.recorder is not None:
             self.recorder.note_start(request.func, start_type.value, now)
+        if self._m_starts is not None:
+            self._m_starts.labels(type=start_type.value).inc()
         container.start_request(request, now)
         if start_type is StartType.WARM:
             self.policy.on_warm_start(container, request, now)
@@ -472,6 +525,8 @@ class Orchestrator:
                   worker_id=container.worker.worker_id
                   if container.worker else None)
         self.metrics.record_request(request)
+        if self._m_wait is not None:
+            self._m_wait.observe(request.wait_ms)
         self.policy.on_request_complete(container, request, now)
         # Step 2a: the vacant slot serves queued waiters — first those
         # committed to this container, then the function's FIFO.
@@ -589,6 +644,8 @@ class Orchestrator:
                 self._usage.dirty = False
             used = self._used_mb_cache
         self.metrics.record_memory(self.sim.now, used)
+        if self._m_used is not None:
+            self._m_used.set(used)
 
     def _run_maintenance(self) -> None:
         self.policy.on_maintenance(self.sim.now)

@@ -1,0 +1,169 @@
+"""Tests for :mod:`repro.analysis.audit` — the ``repro audit`` backend.
+
+The acceptance bar: the eviction-imbalance numbers of
+``test_eviction_imbalance_metric.py`` must be reproducible from decision
+provenance alone. A CIP run under the same contended workload is
+replayed with both an :class:`EventLog` and a :class:`DecisionAudit`
+attached, and the per-function eviction counts derived from
+``eviction_decision`` records must equal the counts derived from
+``EventKind.EVICTION`` events — then the Observation 2 assertions are
+re-stated on top of the audit-derived view.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.audit import (eviction_balance, expensive_decisions,
+                                  gate_flip_rows, gate_flip_timeline,
+                                  gate_flips)
+from repro.core.cidre import CIPOnlyPolicy
+from repro.obs import DecisionAudit
+from repro.sim.config import SimulationConfig
+from repro.sim.eventlog import EventKind, EventLog
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+
+def contended_workload(n_funcs=6, rounds=30, seed=5):
+    """Symmetric functions contending for a too-small cache — the same
+    generator as ``test_eviction_imbalance_metric.py`` (tests are not a
+    package, so it is restated here rather than imported)."""
+    rng = np.random.default_rng(seed)
+    functions = [FunctionSpec(f"f{i}", memory_mb=150.0,
+                              cold_start_ms=600.0)
+                 for i in range(n_funcs)]
+    requests = []
+    for r in range(rounds):
+        at = r * 5_000.0
+        for i in range(n_funcs):
+            if rng.random() < 0.8:
+                requests.append(Request(f"f{i}",
+                                        at + float(rng.uniform(0, 500)),
+                                        float(rng.lognormal(5.0, 0.3))))
+            if rng.random() < 0.3:
+                requests.append(Request(f"f{i}",
+                                        at + float(rng.uniform(0, 500)),
+                                        float(rng.lognormal(5.0, 0.3))))
+    return functions, requests
+
+
+@pytest.fixture(scope="module")
+def cip_run():
+    functions, requests = contended_workload()
+    log = EventLog()
+    audit = DecisionAudit()
+    orch = Orchestrator(functions, CIPOnlyPolicy(),
+                        SimulationConfig(capacity_gb=600.0 / 1024.0),
+                        event_log=log, audit=audit)
+    orch.run(requests)
+    return log, audit
+
+
+class TestEvictionBalanceFromAudit:
+    def test_counts_match_event_log(self, cip_run):
+        """Every eviction CIP performs flows through the audited REPLACE
+        path, so audit-derived counts equal event-log-derived counts."""
+        log, audit = cip_run
+        from_events = {}
+        for event in log.of_kind(EventKind.EVICTION):
+            from_events[event.func] = from_events.get(event.func, 0) + 1
+        balance = eviction_balance(list(audit))
+        assert balance.counts == from_events
+        assert balance.total == sum(from_events.values())
+
+    def test_observation2_reproduced_from_audit(self, cip_run):
+        """The Observation 2 assertions, from decision records alone."""
+        _, audit = cip_run
+        balance = eviction_balance(list(audit))
+        assert balance.total > 0
+        assert len(balance.counts) >= 5   # nearly all six functions
+        assert balance.max_share < 0.5    # no single dominant victim
+
+    def test_rows_sorted_most_evicted_first(self, cip_run):
+        _, audit = cip_run
+        rows = eviction_balance(list(audit)).rows()
+        counts = [row[1] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert sum(row[2] for row in rows) == pytest.approx(1.0)
+
+    def test_empty_records_give_zero_share(self):
+        balance = eviction_balance([])
+        assert balance.total == 0
+        assert balance.max_share == 0.0
+        assert balance.rows() == []
+
+
+class TestGateFlipViews:
+    RECORDS = [
+        {"kind": "gate_flip", "t": 10.0, "func": "a", "enabled": False,
+         "reason": "T_i>T_e", "trigger": "scale"},
+        {"kind": "css_scale", "t": 11.0, "func": "a", "rid": 1,
+         "branch": "stay_queued", "decision": "queue",
+         "bss_enabled": False},
+        {"kind": "gate_flip", "t": 20.0, "func": "a", "enabled": True,
+         "reason": "T_d>T_p", "trigger": "maintenance"},
+        {"kind": "gate_flip", "t": 30.0, "func": "b", "enabled": False,
+         "reason": "T_i>T_e", "trigger": "scale"},
+    ]
+
+    def test_gate_flips_filters_kind(self):
+        assert len(gate_flips(self.RECORDS)) == 3
+
+    def test_timeline_groups_by_function(self):
+        timeline = gate_flip_timeline(self.RECORDS)
+        assert timeline == {
+            "a": [(10.0, False, "T_i>T_e"), (20.0, True, "T_d>T_p")],
+            "b": [(30.0, False, "T_i>T_e")],
+        }
+
+    def test_rows_render_transitions(self):
+        rows = gate_flip_rows(self.RECORDS)
+        assert rows[0] == [10.0, "a", "on->off", "T_i>T_e", "scale"]
+        assert rows[1] == [20.0, "a", "off->on", "T_d>T_p",
+                           "maintenance"]
+
+    def test_rows_limit_keeps_last(self):
+        rows = gate_flip_rows(self.RECORDS, limit=1)
+        assert rows == [[30.0, "b", "on->off", "T_i>T_e", "scale"]]
+
+
+class TestExpensiveDecisions:
+    RECORDS = [
+        {"kind": "eviction_decision", "t": 5.0, "wid": 0,
+         "need_mb": 100.0, "freed_mb": 150.0,
+         "victims": [{"cid": 1, "func": "a", "mem_mb": 150.0,
+                      "cost_ms": 600.0}], "survivors": []},
+        {"kind": "css_scale", "t": 6.0, "func": "b", "rid": 2,
+         "branch": "stay_queued", "decision": "queue",
+         "bss_enabled": False, "t_d": 900.0, "t_p": 1_000.0},
+        {"kind": "css_scale", "t": 7.0, "func": "b", "rid": 3,
+         "branch": "speculate", "decision": "speculate",
+         "bss_enabled": True},
+        {"kind": "eviction_decision", "t": 8.0, "wid": 0,
+         "need_mb": 100.0, "freed_mb": 300.0,
+         "victims": [{"cid": 2, "func": "a", "mem_mb": 150.0,
+                      "cost_ms": 600.0},
+                     {"cid": 3, "func": "c", "mem_mb": 150.0,
+                      "cost_ms": 600.0}], "survivors": []},
+    ]
+
+    def test_ranked_by_cost_descending(self):
+        ranked = expensive_decisions(self.RECORDS)
+        assert [cost for cost, _ in ranked] == [1_200.0, 900.0, 600.0]
+        assert ranked[0][1]["t"] == 8.0   # the two-victim eviction
+
+    def test_speculate_records_not_scored(self):
+        ranked = expensive_decisions(self.RECORDS)
+        assert all(r.get("branch") != "speculate" for _, r in ranked)
+
+    def test_k_limits_output(self):
+        assert len(expensive_decisions(self.RECORDS, k=1)) == 1
+
+    def test_real_run_produces_ranked_costs(self, cip_run):
+        _, audit = cip_run
+        ranked = expensive_decisions(list(audit), k=10)
+        assert ranked
+        costs = [cost for cost, _ in ranked]
+        assert costs == sorted(costs, reverse=True)
+        assert all(cost > 0 for cost in costs)

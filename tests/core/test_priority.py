@@ -96,6 +96,42 @@ class TestPriority:
         assert policy.priorities(containers, now) == pytest.approx(
             [policy.priority(c, now) for c in containers])
 
+    def test_batch_matches_scalar_across_workers(self):
+        """Regression: ``|F(c)|`` is per-worker, so a batch spanning two
+        workers with different warm counts of the *same* function must
+        not reuse the first worker's count for the second's containers."""
+        policy = CIPOnlyPolicy()
+        w0 = Worker(0, capacity_mb=100_000)
+        w1 = Worker(1, capacity_mb=100_000)
+        spec = FunctionSpec("fn", memory_mb=100, cold_start_ms=500)
+        arrivals(policy, w0, "fn", 12, spacing=50.0)
+        containers = [warm(w0, spec),                 # |F| = 1 on w0
+                      warm(w1, spec), warm(w1, spec),
+                      warm(w1, spec)]                 # |F| = 3 on w1
+        now = 5_000.0
+        batch = policy.priorities(containers, now)
+        assert batch == pytest.approx(
+            [policy.priority(c, now) for c in containers])
+        # The counts genuinely differ, so a func-keyed memo would have
+        # collapsed these two values together.
+        assert batch[0] == pytest.approx(batch[1] * 3)
+
+    def test_components_recombine_to_priority(self):
+        policy, worker = setup()
+        spec = FunctionSpec("fn", memory_mb=128, cold_start_ms=700)
+        c = warm(worker, spec)
+        warm(worker, spec)
+        arrivals(policy, worker, "fn", 20, spacing=100.0)
+        now = 3_000.0
+        parts = policy.priority_components(c, now)
+        assert parts["priority"] == pytest.approx(policy.priority(c, now))
+        assert parts["priority"] == pytest.approx(
+            parts["clock"] + parts["freq_per_min"] * parts["cost_ms"]
+            / (parts["size_mb"] * parts["warm_count"]))
+        assert parts["warm_count"] == 2
+        assert parts["cost_ms"] == 700
+        assert parts["size_mb"] == 128
+
 
 class TestClockMonotonicity:
     @given(st.lists(st.tuples(

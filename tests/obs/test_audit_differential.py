@@ -1,0 +1,104 @@
+"""Differential tests: audit/metrics attachments are bit-identical no-ops.
+
+The decision audit and the metrics registry promise *strictly read-only*
+observation: attaching both to a run must leave every simulation outcome
+— summary floats, per-request tuples, the complete control-plane event
+log including eviction order — bit-identical to the bare run. These
+tests replay seeded workloads twice, bare and fully instrumented, across
+every registered policy family (each distinct ``scale`` / ``make_room``
+implementation) and assert exact equality, mirroring the indexed-vs-
+reference methodology of ``tests/sim/test_differential_golden.py``.
+
+Container ids come from a process-global counter, so event streams are
+compared after rebasing ids to each run's first observed id.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.suites import policy_factories
+from repro.obs import DecisionAudit, MetricsRegistry
+from repro.sim.config import SimulationConfig
+from repro.sim.eventlog import EventLog
+from repro.sim.orchestrator import Orchestrator
+from repro.traces.azure import azure_trace
+from repro.traces.synth import ArrivalModel, synth_trace
+
+POLICIES = ("TTL", "LRU", "FaasCache", "CIDRE", "CodeCrunch",
+            "RainbowCake")
+
+
+def _cases():
+    yield "synth-bursty", synth_trace(
+        "audit-diff-101", np.random.default_rng(101), n_functions=8,
+        total_requests=900, duration_ms=120_000.0,
+        arrivals=ArrivalModel(burst_size_p=0.4)), 2.0
+    yield "azure-sample", azure_trace(seed=5, total_requests=4_000), 2.0
+
+
+CASES = {name: (trace, gb) for name, trace, gb in _cases()}
+
+
+def _replay(trace, policy_name, capacity_gb, instrumented):
+    config = SimulationConfig(capacity_gb=capacity_gb)
+    log = EventLog()
+    policy = policy_factories()[policy_name](trace)
+    audit = DecisionAudit() if instrumented else None
+    metrics = MetricsRegistry() if instrumented else None
+    orchestrator = Orchestrator(trace.functions, policy, config,
+                                event_log=log, audit=audit,
+                                metrics=metrics)
+    result = orchestrator.run(trace.fresh_requests())
+    return result, log, audit
+
+
+def _request_tuples(result):
+    return [(r.req_id, r.start_type, r.start_ms, r.end_ms, r.wait_ms)
+            for r in result.requests]
+
+
+def _normalized_events(log):
+    base = None
+    out = []
+    for e in log:
+        cid = None
+        if e.container_id is not None:
+            if base is None:
+                base = e.container_id
+            cid = e.container_id - base
+        out.append((e.time_ms, e.kind.value, e.func, cid, e.req_id))
+    return out
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_instrumented_matches_bare(case, policy_name):
+    trace, capacity_gb = CASES[case]
+    bare, bare_log, _ = _replay(trace, policy_name, capacity_gb,
+                                instrumented=False)
+    inst, inst_log, audit = _replay(trace, policy_name, capacity_gb,
+                                    instrumented=True)
+
+    assert bare.summary() == inst.summary()
+    assert _request_tuples(bare) == _request_tuples(inst)
+
+    bare_events = _normalized_events(bare_log)
+    inst_events = _normalized_events(inst_log)
+    for i, (a, b) in enumerate(zip(bare_events, inst_events)):
+        assert a == b, (f"{case}/{policy_name}: event {i} diverged:\n"
+                        f"  bare:         {a}\n  instrumented: {b}")
+    assert len(bare_events) == len(inst_events)
+
+    # CSS-based policies must actually have produced audit records in
+    # the instrumented run — a vacuously identical run proves nothing.
+    if policy_name == "CIDRE":
+        assert audit.of_kind("css_scale")
+        assert audit.of_kind("eviction_decision")
+
+
+def test_golden_case_exercises_pressure():
+    trace, capacity_gb = CASES["synth-bursty"]
+    result, _, audit = _replay(trace, "CIDRE", capacity_gb,
+                               instrumented=True)
+    assert result.summary()["evictions"] > 0
+    assert audit.recorded > 0

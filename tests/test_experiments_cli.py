@@ -228,6 +228,133 @@ class TestTelemetryCLI:
         assert "no request with id" in capsys.readouterr().err
 
 
+class TestAuditCLI:
+    ARGS = ["audit", "--preset", "azure", "--requests", "1500",
+            "--seed", "3", "--policy", "CIDRE", "--capacity-gb", "2"]
+
+    def test_audit_prints_explanations(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "decision records" in out
+        assert "CSS gate flips" in out
+        assert "eviction balance" in out
+        assert "imbalance: max per-function share" in out
+        assert "most expensive decisions" in out
+
+    def test_audit_writes_jsonl_and_metrics(self, tmp_path, capsys):
+        import json
+
+        jsonl = tmp_path / "audit.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(self.ARGS + ["--audit-out", str(jsonl),
+                                 "--metrics-out", str(prom)]) == 0
+        capsys.readouterr()
+
+        from repro.obs import RECORD_KINDS
+        records = [json.loads(line)
+                   for line in jsonl.read_text().splitlines()]
+        assert records
+        assert {r["kind"] for r in records} <= set(RECORD_KINDS)
+        assert all("t" in r for r in records)
+
+        text = prom.read_text()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_css_scale_total" in text
+
+    def test_audit_imbalance_matches_library(self, tmp_path, capsys):
+        """The CLI's imbalance number is exactly the library metric over
+        the sidecar records — the verb is a view, not a recomputation."""
+        import re
+
+        jsonl = tmp_path / "audit.jsonl"
+        assert main(self.ARGS + ["--audit-out", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        m = re.search(r"max per-function share (\d+\.\d)%", out)
+        assert m
+
+        from repro.analysis.audit import eviction_balance
+        from repro.obs import read_audit_jsonl
+        balance = eviction_balance(read_audit_jsonl(jsonl))
+        assert f"{balance.max_share:.1%}" == m.group(1) + "%"
+        assert balance.total > 0
+
+    def test_audit_unknown_policy(self, capsys):
+        assert main(["audit", "--preset", "azure", "--requests", "1500",
+                     "--policy", "Nope"]) == 2
+
+    def test_audit_gateless_policy_reports_no_flips(self, capsys):
+        assert main(["audit", "--preset", "azure", "--requests", "1500",
+                     "--seed", "3", "--policy", "LRU",
+                     "--capacity-gb", "2"]) == 0
+        assert "no gate flips" in capsys.readouterr().out
+
+
+class TestMetricsOutCLI:
+    def test_run_metrics_out_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["run", "--preset", "azure", "--requests", "1500",
+                     "--seed", "3", "--policy", "CIDRE",
+                     "--capacity-gb", "2",
+                     "--metrics-out", str(path)]) == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        with open(path) as fh:
+            snapshot = json.load(fh)
+        assert snapshot["repro_requests_total"]["type"] == "counter"
+        total = snapshot["repro_requests_total"]["samples"][0]["value"]
+        assert total > 0
+        # Every request started exactly once, whatever the start type.
+        assert sum(s["value"]
+                   for s in snapshot["repro_starts_total"]["samples"]) \
+            == total
+
+    def test_trace_metrics_out_prometheus(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(["trace", "--preset", "azure", "--requests", "1500",
+                     "--seed", "3", "--policy", "CIDRE",
+                     "--capacity-gb", "2",
+                     "--metrics-out", str(path)]) == 0
+        text = path.read_text()
+        assert "# TYPE repro_request_wait_ms histogram" in text
+        assert 'le="+Inf"' in text
+
+    def test_sweep_metrics_out_per_cell(self, tmp_path, capsys):
+        import json
+
+        mdir = tmp_path / "metrics"
+        assert main(TestSweepCLI.ARGS + ["--jobs", "2",
+                                         "--metrics-out",
+                                         str(mdir)]) == 0
+        assert "per-cell metrics snapshots" in capsys.readouterr().out
+        files = sorted(mdir.glob("*.metrics.json"))
+        assert len(files) == 4   # 2 policies x 2 capacities
+        totals = set()
+        for path in files:
+            with open(path) as fh:
+                snapshot = json.load(fh)
+            totals.add(
+                snapshot["repro_requests_total"]["samples"][0]["value"])
+        # Every cell replayed the same trace, so the same request count.
+        assert len(totals) == 1 and totals.pop() > 0
+
+
+class TestSweepProgressCLI:
+    def test_progress_heartbeat_on_stderr(self, capsys):
+        args = [a for a in TestSweepCLI.ARGS if a != "--quiet"]
+        assert main(args + ["--jobs", "2", "--progress"]) == 0
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if "eta" in l]
+        assert len(lines) == 4   # one heartbeat per cell
+        assert "[1/4]" in lines[0] and "[4/4]" in lines[-1]
+        assert "elapsed" in lines[0]
+
+    def test_progress_overrides_quiet(self, capsys):
+        assert main(TestSweepCLI.ARGS + ["--jobs", "1",
+                                         "--progress"]) == 0
+        assert "eta" in capsys.readouterr().err
+
+
 class TestCLIExtras:
     def test_stats_command(self, capsys):
         code = main(["stats", "--preset", "fc", "--requests", "1500"])
