@@ -10,6 +10,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
+echo "== import preflight (PYTHONPATH=src resolution) =="
+if ! preflight_err="$(python -c 'import repro, repro.cli, repro.lint' 2>&1)"; then
+    echo "FATAL: cannot import the repro package with PYTHONPATH=src." >&2
+    echo "Run this script from a checkout whose src/repro is intact;" >&2
+    echo "the import error was:" >&2
+    echo "$preflight_err" >&2
+    exit 1
+fi
+
+echo "== repro-lint (determinism / purity / FP-discipline) =="
+# Human output for the log, then the JSON surface the tooling consumes.
+python -m repro.lint src/repro
+python -m repro.lint src/repro --format json > /dev/null
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
@@ -46,6 +60,19 @@ print(f"telemetry artifacts OK: {len(events)} events, "
       f"{len(series['cluster']['times_ms'])} samples x "
       f"{len(series['functions'])} functions")
 EOF
+
+echo "== sanitized replay smoke (--sanitize is a bit-identical no-op) =="
+run_common=(run --preset azure --requests 1500 --seed 3
+            --policy CIDRE --capacity-gb 2)
+python -m repro.cli "${run_common[@]}" > "$tmpdir/run-plain.txt"
+python -m repro.cli "${run_common[@]}" --sanitize \
+    > "$tmpdir/run-sanitized.txt" 2> "$tmpdir/sanitizer.log"
+if ! cmp "$tmpdir/run-plain.txt" "$tmpdir/run-sanitized.txt"; then
+    echo "FATAL: sanitized replay diverged from the plain replay" >&2
+    exit 1
+fi
+grep -q "sanitizer: ok" "$tmpdir/sanitizer.log"
+echo "sanitized replay matches plain replay bit-for-bit"
 
 echo "== decision-audit smoke (audit verb artifacts) =="
 python -m repro.cli audit --preset azure --requests 1500 --seed 3 \

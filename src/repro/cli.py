@@ -100,6 +100,15 @@ def _write_metrics(registry, path: str) -> None:
     print(f"wrote metrics to {path}")
 
 
+def _make_sanitizer(args: argparse.Namespace):
+    """A fresh :class:`repro.sim.sanitizer.SimSanitizer` when
+    ``--sanitize`` was given."""
+    if not getattr(args, "sanitize", False):
+        return None
+    from repro.sim.sanitizer import SimSanitizer
+    return SimSanitizer()
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     trace = _build_trace(args)
     table = policy_factories()
@@ -112,6 +121,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                               threads_per_container=args.threads,
                               reference_impl=args.reference)
     metrics = _metrics_registry(args.metrics_out)
+    sanitizer = _make_sanitizer(args)
     if args.profile:
         import cProfile
         import pstats
@@ -119,7 +129,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
         result = run_one(trace, table[args.policy], config,
-                         metrics=metrics)
+                         metrics=metrics, sanitizer=sanitizer)
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(25)
@@ -128,7 +138,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"wrote profile to {args.profile_out}", file=sys.stderr)
     else:
         result = run_one(trace, table[args.policy], config,
-                         metrics=metrics)
+                         metrics=metrics, sanitizer=sanitizer)
+    if sanitizer is not None:
+        sanitizer.report()
     print(render_table(
         ["metric", "value"],
         sorted(result.summary().items()),
@@ -173,9 +185,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 if args.timeseries_out else None)
     metrics = _metrics_registry(args.metrics_out)
     log = EventLog(capacity=args.ring_capacity, sinks=sinks)
+    sanitizer = _make_sanitizer(args)
     experiment = run_one(trace, factory, config, event_log=log,
-                         recorder=recorder, metrics=metrics)
+                         recorder=recorder, metrics=metrics,
+                         sanitizer=sanitizer)
     log.close()
+    if sanitizer is not None:
+        sanitizer.report()
 
     result = experiment.result
     print(f"replayed {result.total} requests "
@@ -566,6 +582,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--metrics-out", default=None,
                      help="write a metrics snapshot here (Prometheus "
                           "text for .prom/.txt, JSON otherwise)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run under the sim-sanitizer (write barrier "
+                          "around probe callbacks + periodic consistency "
+                          "sweeps); results stay bit-identical")
     run.set_defaults(func=cmd_run)
 
     tr = sub.add_parser(
@@ -593,6 +613,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     tr.add_argument("--metrics-out", default=None,
                     help="write a metrics snapshot here (Prometheus "
                          "text for .prom/.txt, JSON otherwise)")
+    tr.add_argument("--sanitize", action="store_true",
+                    help="run under the sim-sanitizer (write barrier "
+                         "around sink/recorder callbacks + periodic "
+                         "consistency sweeps); results stay bit-identical")
     tr.set_defaults(func=cmd_trace)
 
     audit = sub.add_parser(
@@ -708,6 +732,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--factor", type=float, default=2.0,
                        help="allowed slowdown vs --check (default 2.0)")
     bench.set_defaults(func=cmd_bench_throughput)
+
+    lint = sub.add_parser(
+        "lint", help="static determinism/purity/FP-discipline analysis "
+                     "(repro-lint)")
+    from repro.lint.cli import add_lint_arguments, run_lint
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -41,7 +41,7 @@ class ExperimentResult:
 def run_one(trace: Trace, factory: PolicyFactory,
             config: Optional[SimulationConfig] = None,
             event_log=None, recorder=None, audit=None,
-            metrics=None) -> ExperimentResult:
+            metrics=None, sanitizer=None) -> ExperimentResult:
     """Run one policy over one trace.
 
     ``event_log`` / ``recorder`` / ``audit`` / ``metrics`` are optional
@@ -49,14 +49,25 @@ def run_one(trace: Trace, factory: PolicyFactory,
     :class:`repro.sim.telemetry.TimeSeriesRecorder`,
     :class:`repro.obs.DecisionAudit`, :class:`repro.obs.MetricsRegistry`)
     passed through to the orchestrator; they observe the run without
-    changing its outcome.
+    changing its outcome. ``sanitizer`` is an optional
+    :class:`repro.sim.sanitizer.SimSanitizer` installed for the duration
+    of the run (write barrier around probe callbacks plus periodic
+    consistency sweeps); a sanitized run produces bit-identical results.
     """
     config = config or SimulationConfig()
     policy = factory(trace)
     orchestrator = Orchestrator(trace.functions, policy, config,
                                 event_log=event_log, recorder=recorder,
                                 audit=audit, metrics=metrics)
-    result = orchestrator.run(trace.fresh_requests())
+    if sanitizer is not None:
+        sanitizer.install(orchestrator)
+        try:
+            result = orchestrator.run(trace.fresh_requests())
+            sanitizer.finalize(orchestrator)
+        finally:
+            sanitizer.uninstall(orchestrator)
+    else:
+        result = orchestrator.run(trace.fresh_requests())
     return ExperimentResult(policy.name, trace.name, config, result)
 
 

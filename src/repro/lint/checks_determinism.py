@@ -1,0 +1,154 @@
+"""DET0xx — nondeterminism sources in simulation code.
+
+The replay guarantee (PR 1-2: bit-identical results across serial,
+parallel and spawn execution) holds only because simulation code is a
+pure function of ``(trace, policy, config)``. These rules flag the ways
+that purity classically leaks away in this codebase's domain:
+
+* ``DET001`` wall-clock reads — virtual time comes from the engine;
+* ``DET002`` unseeded/global RNG — stochastic policies must draw from
+  the orchestrator's seeded ``rng``;
+* ``DET003`` UUIDs — identifiers must be deterministic counters;
+* ``DET004`` iteration over sets — set order depends on
+  ``PYTHONHASHSEED`` for strings, so any set-driven loop can reorder
+  events or float accumulation between processes.
+
+Scope: ``sim/``, ``core/``, ``policies/`` — the code that runs inside a
+replay. Harness code (``experiments/``, ``analysis/``) may legitimately
+read the wall clock for timing reports.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import (Checker, Rule, SetExprTracker, dotted_name,
+                              register)
+
+_SIM_SCOPES = ("sim/", "core/", "policies/")
+
+#: Wall-clock entry points (module-qualified).
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+}
+#: ``datetime``-flavoured wall-clock reads, matched on the chain tail so
+#: both ``datetime.now()`` and ``datetime.datetime.now()`` hit.
+_WALL_CLOCK_TAILS = ("datetime.now", "datetime.utcnow", "datetime.today",
+                     "date.today")
+
+#: Module-level ``random.*`` draws share the interpreter-global RNG.
+_GLOBAL_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "lognormvariate", "paretovariate", "weibullvariate",
+    "triangular", "getrandbits", "vonmisesvariate",
+}
+
+
+@register
+class WallClockChecker(Checker):
+    RULE = Rule(
+        code="DET001", name="wall-clock", severity="error",
+        scopes=_SIM_SCOPES,
+        rationale="Simulation code must use the engine's virtual clock "
+                  "(Simulator.now); wall-clock reads make replays "
+                  "non-reproducible.")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain is not None:
+            if chain in _WALL_CLOCK or chain.endswith(_WALL_CLOCK_TAILS):
+                self.report(node, f"wall-clock read `{chain}()` in "
+                                  f"simulation code; use the engine's "
+                                  f"virtual time (`sim.now` / the `now` "
+                                  f"argument) instead")
+        self.generic_visit(node)
+
+
+@register
+class UnseededRandomChecker(Checker):
+    RULE = Rule(
+        code="DET002", name="unseeded-random", severity="error",
+        scopes=_SIM_SCOPES,
+        rationale="Stochastic decisions must draw from the orchestrator's "
+                  "seeded random.Random (ctx.rng); the module-global RNG "
+                  "and unseeded generators vary across runs/processes.")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain is not None:
+            if chain in {f"random.{fn}" for fn in _GLOBAL_RANDOM} \
+                    or chain == "random.seed":
+                self.report(node, f"`{chain}()` uses the interpreter-"
+                                  f"global RNG; draw from the seeded "
+                                  f"`Orchestrator.rng` instead")
+            elif chain in ("random.Random", "random.SystemRandom") \
+                    and not node.args and not node.keywords:
+                self.report(node, f"`{chain}()` constructed without a "
+                                  f"seed; pass an explicit seed derived "
+                                  f"from SimulationConfig.seed")
+            elif chain.endswith("random.default_rng") \
+                    and not node.args and not node.keywords:
+                self.report(node, "`default_rng()` without a seed is "
+                                  "entropy-seeded; pass an explicit seed")
+        self.generic_visit(node)
+
+
+@register
+class UuidChecker(Checker):
+    RULE = Rule(
+        code="DET003", name="uuid", severity="error",
+        scopes=_SIM_SCOPES,
+        rationale="UUIDs are drawn from OS entropy (uuid4) or the host "
+                  "clock/MAC (uuid1); identifiers in a replay must be "
+                  "deterministic counters (itertools.count).")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain in ("uuid.uuid4", "uuid.uuid1", "uuid4", "uuid1"):
+            self.report(node, f"`{chain}()` is nondeterministic; use a "
+                              f"monotone counter (see "
+                              f"`Container._container_ids`) instead")
+        self.generic_visit(node)
+
+
+@register
+class UnorderedIterationChecker(Checker):
+    RULE = Rule(
+        code="DET004", name="unordered-iteration", severity="error",
+        scopes=_SIM_SCOPES,
+        rationale="Set iteration order depends on PYTHONHASHSEED for "
+                  "strings; a set-driven loop in the replay path can "
+                  "reorder events, container creation or float "
+                  "accumulation between processes. Iterate a sorted() "
+                  "view (or an insertion-ordered dict) instead.")
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._sets = SetExprTracker()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._sets.note_assign(node)
+        self.generic_visit(node)
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if self._sets.is_set_expr(iter_node):
+            self.report(iter_node,
+                        "iteration over a set has hash-seed-dependent "
+                        "order; wrap it in sorted() or iterate an "
+                        "ordered container")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp

@@ -1,0 +1,109 @@
+"""FPX0xx — float-summation-order discipline.
+
+Float addition is not associative: summing the same multiset in two
+orders can differ by ULPs, and the replay hot path (PR 2) flips on
+exact boundary comparisons (``free_mb + evictable_mb() < need_mb``).
+The codebase's rule — documented in ``sim/worker.py`` and
+``core/window.py`` — is that any cached float total must be recomputed
+*in the reference implementation's summation order*, never accumulated
+incrementally or summed in container-iteration order that is not
+pinned.
+
+Statically we flag ``sum()`` whose iterable has no defined order:
+
+* ``FPX001`` — ``sum()`` over a set expression (hash order);
+* ``FPX002`` — ``sum()`` over ``<dict>.values()`` (insertion order:
+  deterministic only if every insertion site is; for float values the
+  safe form is an explicit ``sorted()`` key order).
+
+``FPX002`` is a *warning*: integer sums over ``.values()`` are
+order-immune and may be suppressed inline or baselined with a comment
+(the committed baseline carries the known-benign cases).
+
+Scope: ``core/`` and ``sim/`` — where Eq. 3 priorities, CSS statistics
+and memory accounting live.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import Checker, Rule, SetExprTracker, register
+
+_FP_SCOPES = ("core/", "sim/")
+
+
+def _sum_iterable(node: ast.Call):
+    """The effective iterable of a ``sum(...)`` call, unwrapping a
+    genexp/comprehension to its first generator's source."""
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None)
+    if name != "sum" or not node.args:
+        return None
+    arg = node.args[0]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return arg.generators[0].iter
+    return arg
+
+
+def _is_values_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "values"
+            and not node.args and not node.keywords)
+
+
+class _SumChecker(Checker):
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._sets = SetExprTracker()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._sets.note_assign(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        iterable = _sum_iterable(node)
+        if iterable is not None:
+            self._check(node, iterable)
+        self.generic_visit(node)
+
+    def _check(self, call: ast.Call, iterable: ast.AST) -> None:
+        raise NotImplementedError
+
+
+@register
+class SumOverSetChecker(_SumChecker):
+    RULE = Rule(
+        code="FPX001", name="sum-over-set", severity="error",
+        scopes=_FP_SCOPES,
+        rationale="Summing floats over a set accumulates in hash order, "
+                  "which varies with PYTHONHASHSEED; totals must be "
+                  "computed in a pinned order (the reference "
+                  "implementation's) to keep replays bit-identical.")
+
+    def _check(self, call: ast.Call, iterable: ast.AST) -> None:
+        if self._sets.is_set_expr(iterable):
+            self.report(call, "sum() over a set accumulates in hash "
+                              "order; sum over sorted() or an ordered "
+                              "container instead")
+
+
+@register
+class SumOverDictValuesChecker(_SumChecker):
+    RULE = Rule(
+        code="FPX002", name="sum-over-dict-values", severity="warning",
+        scopes=_FP_SCOPES,
+        rationale="Summing over .values() accumulates in insertion "
+                  "order, which is only as deterministic as every "
+                  "insertion site; float totals feeding comparisons "
+                  "must pin an explicit order (sorted keys), matching "
+                  "the reference-summation discipline of PR 2.")
+
+    def _check(self, call: ast.Call, iterable: ast.AST) -> None:
+        if _is_values_call(iterable):
+            self.report(call, "sum() over .values() relies on dict "
+                              "insertion order; for float totals sum "
+                              "over sorted(keys) (integer counts may be "
+                              "suppressed or baselined with a comment)")

@@ -1,0 +1,187 @@
+"""PUR0xx — observer purity: probes must not mutate simulator state.
+
+The telemetry/audit layers (PR 3-4) guarantee that attaching a sink,
+recorder or decision audit leaves a run bit-identical — pinned
+dynamically by ``tests/obs/test_audit_differential.py`` and enforced at
+runtime by the :class:`repro.sim.sanitizer.SimSanitizer`. These rules
+are the static twin: inside observer modules (``obs/`` and
+``sim/telemetry.py``) no function may write through an object it
+received from the simulation.
+
+The analysis is a simple intra-function taint walk: every parameter
+except ``self``/``cls`` is *sim-owned*; locals bound to expressions
+rooted at a sim-owned name (including loop variables) inherit the
+taint. Flagged are
+
+* ``PUR001`` — attribute/subscript assignment through a sim-owned root
+  (``orchestrator.foo = x``, ``worker.containers[i] = c``);
+* ``PUR002`` — calls of known-mutating methods on a sim-owned root
+  (``container.mark_evicted()``, ``worker.add(c)``,
+  ``sim.schedule(...)``, ``queue.append(x)``).
+
+The walk is deliberately shallow (no inter-procedural propagation, no
+aliasing through containers) — that is what the runtime sanitizer
+exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.lint.rules import Checker, Rule, register, root_name
+
+_OBSERVER_SCOPES = ("obs/", "sim/telemetry.py")
+
+#: Method names that mutate their receiver — simulator transition methods
+#: plus the mutating methods of the stdlib containers sim state lives in.
+MUTATING_METHODS = frozenset({
+    # container / worker / engine transitions
+    "add", "remove", "evict", "compress", "decompress", "recharge",
+    "reserve", "mark_ready", "mark_evicted", "start_request",
+    "finish_request", "begin_restore", "abort_restore", "schedule", "at",
+    "every", "cancel", "run", "prewarm", "speculate_for", "record",
+    # stdlib container mutators
+    "append", "appendleft", "extend", "extendleft", "insert", "pop",
+    "popleft", "popitem", "clear", "update", "setdefault", "discard",
+    "sort", "reverse", "remove",
+})
+
+
+class _TaintWalk(ast.NodeVisitor):
+    """Per-function walk tracking names rooted in sim-owned parameters."""
+
+    def __init__(self, checker: "Checker", func: ast.AST,
+                 check_assign: bool, check_calls: bool):
+        self.checker = checker
+        self.check_assign = check_assign
+        self.check_calls = check_calls
+        self.tainted: Set[str] = set()
+        args = func.args
+        params = (args.posonlyargs + args.args + args.kwonlyargs
+                  + ([args.vararg] if args.vararg else [])
+                  + ([args.kwarg] if args.kwarg else []))
+        for i, param in enumerate(params):
+            if i == 0 and param.arg in ("self", "cls"):
+                continue
+            self.tainted.add(param.arg)
+
+    # -- taint propagation --------------------------------------------
+
+    def _rooted_in_taint(self, node: ast.AST) -> bool:
+        root = root_name(node)
+        return root is not None and root in self.tainted
+
+    def _propagate(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if self._rooted_in_taint(value):
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._propagate(elt, value)
+
+    # -- violations ----------------------------------------------------
+
+    def _check_write_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_write_target(elt)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        if self.check_assign and self._rooted_in_taint(target):
+            root = root_name(target)
+            spot = target.attr if isinstance(target, ast.Attribute) \
+                else "[...]"
+            self.checker.report(
+                target, f"observer writes through sim-owned `{root}` "
+                        f"(`{root}`...`{spot}`); probes must be strictly "
+                        f"read-only")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_write_target(target)
+            self._propagate(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_write_target(node.target)
+        if node.value is not None:
+            self._propagate(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if self.check_assign and isinstance(
+                    target, (ast.Attribute, ast.Subscript)) \
+                    and self._rooted_in_taint(target):
+                self.checker.report(
+                    target, f"observer deletes through sim-owned "
+                            f"`{root_name(target)}`; probes must be "
+                            f"strictly read-only")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._propagate(node.target, node.iter)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.check_calls and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATING_METHODS \
+                and self._rooted_in_taint(node.func.value):
+            self.checker.report(
+                node, f"observer calls mutating method "
+                      f"`.{node.func.attr}()` on sim-owned "
+                      f"`{root_name(node.func.value)}`; probes must be "
+                      f"strictly read-only")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested functions get their own walk (fresh parameter taint).
+        _TaintWalk(self.checker, node, self.check_assign,
+                   self.check_calls).generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+class _PurityChecker(Checker):
+    """Shared driver: run a taint walk per top-level function/method."""
+
+    check_assign = False
+    check_calls = False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        _TaintWalk(self, node, self.check_assign,
+                   self.check_calls).generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+@register
+class ObserverWriteChecker(_PurityChecker):
+    RULE = Rule(
+        code="PUR001", name="observer-write", severity="error",
+        scopes=_OBSERVER_SCOPES,
+        rationale="Telemetry/audit probes receive live sim objects "
+                  "(events, workers, the orchestrator); assigning "
+                  "through them would steer the run and break the "
+                  "probe-on/off bit-identity differential.")
+    check_assign = True
+
+
+@register
+class ObserverMutatingCallChecker(_PurityChecker):
+    RULE = Rule(
+        code="PUR002", name="observer-mutating-call", severity="error",
+        scopes=_OBSERVER_SCOPES,
+        rationale="Calling a state-transition or container-mutating "
+                  "method on a sim-owned object from an observer "
+                  "changes simulation outcomes; observers fold state "
+                  "into their own structures instead.")
+    check_calls = True

@@ -1,0 +1,96 @@
+"""API0xx — unit hygiene for suffixed identifiers.
+
+The library's convention (see ``sim/engine.py``: "time is measured in
+milliseconds of virtual time throughout") is to carry units in
+identifier names: ``_ms``/``_s``/``_us`` for time, ``_mb``/``_gb``/
+``_kb`` for memory. ``API001`` flags *additive* expressions (``+``,
+``-``) and comparisons whose two operands carry **different** unit
+suffixes — adding milliseconds to seconds, or comparing megabytes to
+gigabytes, is always a bug or a missing explicit conversion
+(conversions are multiplicative, which the rule deliberately ignores).
+
+Rates (``_per_s``, ``events_per_sec``) are excluded: a rate is not a
+plain quantity and legitimately combines with anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.rules import Checker, Rule, register
+
+#: unit -> dimension. Longest-suffix match wins (``_sec`` before ``_s``).
+_UNITS = {
+    "ms": "time", "us": "time", "ns": "time", "sec": "time",
+    "secs": "time", "s": "time",
+    "mb": "memory", "gb": "memory", "kb": "memory",
+}
+_SUFFIXES = sorted(_UNITS, key=len, reverse=True)
+
+
+def unit_of(name: Optional[str]) -> Optional[str]:
+    """The unit suffix of an identifier, or ``None``.
+
+    ``None`` for rates (``_per_*``) and unsuffixed names.
+    """
+    if not name:
+        return None
+    lowered = name.lower()
+    if "_per_" in lowered or lowered.startswith("per_"):
+        return None
+    for suffix in _SUFFIXES:
+        if lowered.endswith("_" + suffix):
+            return suffix
+    return None
+
+
+def _operand_name(node: ast.AST) -> Optional[str]:
+    """The identifier carrying an operand's unit, if any.
+
+    Accepts plain names, attribute tails and zero-argument method calls
+    (``worker.evictable_mb()`` carries ``mb``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _operand_name(node.func)
+    return None
+
+
+@register
+class UnitMixChecker(Checker):
+    RULE = Rule(
+        code="API001", name="unit-mixing", severity="error",
+        scopes=(),  # everywhere under repro/
+        rationale="Identifiers carry their unit (_ms/_s, _mb/_gb); "
+                  "adding or comparing two quantities with different "
+                  "unit suffixes is a missing conversion. Convert "
+                  "explicitly (value_s * 1000.0) and name the result "
+                  "for its unit.")
+
+    def _check_pair(self, node: ast.AST, left: ast.AST,
+                    right: ast.AST, what: str) -> None:
+        lu = unit_of(_operand_name(left))
+        ru = unit_of(_operand_name(right))
+        if lu is not None and ru is not None and lu != ru:
+            self.report(node, f"{what} mixes `_{lu}` and `_{ru}` "
+                              f"operands without an explicit unit "
+                              f"conversion")
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.left, node.right,
+                             "additive expression")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                               ast.Eq, ast.NotEq)):
+                self._check_pair(node, left, comparator, "comparison")
+            left = comparator
+        self.generic_visit(node)

@@ -1,0 +1,115 @@
+"""Command-line front end for repro-lint.
+
+Standalone (``python -m repro.lint src/repro`` or the ``repro-lint``
+console script) and embedded (the ``lint`` verb of ``cidre-sim``) share
+the same argument schema via :func:`add_lint_arguments` /
+:func:`run_lint`.
+
+Exit codes: 0 clean, 1 findings remain, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import (find_default_baseline, lint_paths,
+                               load_baseline, write_baseline)
+from repro.lint.rules import all_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared lint options to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline JSON of grandfathered findings (default: "
+             "lint-baseline.json discovered at the repo root)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings "
+             "and exit 0")
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogue and exit")
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        scopes = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+        print(f"{rule.code} [{rule.severity}] {rule.name}  ({scopes})")
+        print(f"    {rule.rationale}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed ``args``."""
+    if args.rules:
+        _print_rules()
+        return 0
+
+    select = None
+    if args.select:
+        select = tuple(code.strip().upper()
+                       for code in args.select.split(",") if code.strip())
+
+    baseline_path = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = args.baseline
+        else:
+            baseline_path = find_default_baseline(args.paths)
+
+    baseline = None
+    if baseline_path is not None and not args.update_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: cannot read baseline {baseline_path}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = lint_paths(args.paths, baseline=baseline, select=select)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = args.baseline or baseline_path or "lint-baseline.json"
+        write_baseline(target, report.findings)
+        print(f"repro-lint: wrote {len(report.findings)} entr"
+              f"{'y' if len(report.findings) == 1 else 'ies'} to {target}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism/purity/FP-discipline linter "
+                    "for the CIDRE reproduction.")
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,274 @@
+"""repro-lint driver: file discovery, suppressions, baseline, reports.
+
+Pipeline per file: parse -> run every in-scope checker -> drop findings
+suppressed inline (``# repro-lint: disable=RULE``) -> drop findings
+matched by the committed baseline. Whatever survives fails the lint.
+
+**Inline suppressions** live on the flagged line or on a standalone
+comment line directly above it::
+
+    used = sum(counts.values())  # repro-lint: disable=FPX002
+
+    # repro-lint: disable=DET004  (order-immune: every branch appends
+    # to an independent per-key series)
+    for func in funcs:
+        ...
+
+``disable=all`` silences every rule for that line.
+
+**Baseline** (:func:`load_baseline` / :func:`write_baseline`) is a JSON
+file of grandfathered findings keyed by ``(rule, path, stripped line
+text)`` — *not* line numbers — so unrelated edits do not invalidate it.
+Each entry carries a mandatory ``reason`` so exemptions stay explained.
+Entries that no longer match anything are reported as *stale* so the
+baseline shrinks over time instead of rotting.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, checkers_for
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+BASELINE_VERSION = 1
+#: Default committed baseline filename, discovered at the repo root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+# ======================================================================
+# Per-file linting
+
+
+def relpath_of(path: Union[str, Path]) -> str:
+    """Package-relative path (``repro/sim/worker.py``) of a source file.
+
+    Falls back to the basename when the file is not under a ``repro``
+    package directory, so arbitrary paths still lint with stable keys.
+    """
+    parts = Path(path).resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return Path(path).name
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """line number -> rule codes disabled there (``{"ALL"}`` = every)."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = {code.strip().upper()
+                 for code in match.group(1).split(",") if code.strip()}
+        if "ALL" in codes:
+            codes = {"ALL"}
+        target = lineno
+        if line.lstrip().startswith("#"):
+            # Standalone comment: applies to the next non-comment,
+            # non-blank line.
+            target = lineno + 1
+            while target <= len(lines) and (
+                    not lines[target - 1].strip()
+                    or lines[target - 1].lstrip().startswith("#")):
+                target += 1
+        table.setdefault(target, set()).update(codes)
+    return table
+
+
+def lint_source(source: str, relpath: str = "repro/module.py",
+                select: Optional[Tuple[str, ...]] = None
+                ) -> Tuple[List[Finding], int]:
+    """Lint one source string; returns ``(findings, suppressed_count)``.
+
+    Findings are sorted by location. ``relpath`` controls rule scoping
+    (e.g. pass ``repro/sim/x.py`` to enable the sim-scoped rules).
+    """
+    ctx = FileContext(source, relpath)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="E999", severity="error", path=relpath,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+            line_text=ctx.line_text(exc.lineno or 1))
+        return [finding], 0
+    findings: List[Finding] = []
+    for checker in checkers_for(ctx, select=select):
+        checker.visit(tree)
+        findings.extend(checker.findings)
+    table = _suppressions(ctx.lines)
+    kept, suppressed = [], 0
+    for finding in sorted(findings, key=Finding.sort_key):
+        codes = table.get(finding.line, ())
+        if "ALL" in codes or finding.rule in codes:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+# ======================================================================
+# Baseline
+
+
+def load_baseline(path: Union[str, Path]) -> List[dict]:
+    """Load baseline entries; raises on a malformed file."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version "
+                         f"{payload.get('version')!r} in {path}")
+    entries = payload.get("entries", [])
+    for entry in entries:
+        missing = {"rule", "path", "line_text"} - set(entry)
+        if missing:
+            raise ValueError(f"baseline entry missing {sorted(missing)}: "
+                             f"{entry}")
+    return entries
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding],
+                   reasons: Optional[Dict[tuple, str]] = None) -> None:
+    """Serialize ``findings`` as a baseline file (sorted, de-duplicated)."""
+    reasons = reasons or {}
+    seen = set()
+    entries = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = finding.baseline_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({
+            "rule": finding.rule,
+            "path": finding.path,
+            "line_text": finding.line_text,
+            "reason": reasons.get(key, "grandfathered; justify or fix"),
+        })
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False)
+                          + "\n")
+
+
+def find_default_baseline(paths: Sequence[Union[str, Path]]
+                          ) -> Optional[Path]:
+    """Walk up from the linted paths looking for the committed baseline
+    (next to ``pyproject.toml``, i.e. at the repo root)."""
+    for start in list(paths) or [Path.cwd()]:
+        node = Path(start).resolve()
+        if node.is_file():
+            node = node.parent
+        for parent in (node, *node.parents):
+            candidate = parent / BASELINE_FILENAME
+            if candidate.is_file():
+                return candidate
+            if (parent / "pyproject.toml").is_file():
+                break  # repo root reached without a baseline
+    return None
+
+
+# ======================================================================
+# Multi-file driver
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files: int = 0
+    stale_baseline: List[dict] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "clean": self.clean,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "counts": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        for entry in self.stale_baseline:
+            lines.append(f"note: stale baseline entry {entry['rule']} "
+                         f"@ {entry['path']} ({entry['line_text']!r}) "
+                         f"matched nothing — remove it")
+        summary = (f"{len(self.findings)} finding(s) in {self.files} "
+                   f"file(s) ({self.suppressed} suppressed inline, "
+                   f"{self.baselined} baselined)")
+        lines.append(("FAIL: " if self.findings else "OK: ") + summary)
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return files
+
+
+def lint_paths(paths: Sequence[Union[str, Path]],
+               baseline: Optional[Sequence[dict]] = None,
+               select: Optional[Tuple[str, ...]] = None) -> LintReport:
+    """Lint every ``.py`` file under ``paths``; apply ``baseline``."""
+    report = LintReport()
+    collected: List[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text()
+        findings, suppressed = lint_source(source, relpath_of(file),
+                                           select=select)
+        collected.extend(findings)
+        report.suppressed += suppressed
+        report.files += 1
+    if baseline:
+        matched_entries = set()
+        by_key = {}
+        for i, entry in enumerate(baseline):
+            by_key.setdefault(
+                (entry["rule"], entry["path"], entry["line_text"]),
+                []).append(i)
+        kept = []
+        for finding in collected:
+            indexes = by_key.get(finding.baseline_key())
+            if indexes:
+                report.baselined += 1
+                matched_entries.update(indexes)
+            else:
+                kept.append(finding)
+        collected = kept
+        report.stale_baseline = [entry for i, entry in enumerate(baseline)
+                                 if i not in matched_entries]
+    report.findings = sorted(collected, key=Finding.sort_key)
+    return report

@@ -1,0 +1,47 @@
+"""Finding records produced by the repro-lint checkers.
+
+A :class:`Finding` pins one rule violation to a file location. Findings
+carry the *source line text* alongside the line number so that the
+committed baseline (grandfathered findings) survives unrelated edits
+that shift line numbers: baseline matching keys on
+``(rule, path, stripped line text)``, not on the line number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str          #: rule code, e.g. ``DET004``
+    severity: str      #: ``error`` or ``warning``
+    path: str          #: package-relative path, e.g. ``repro/sim/worker.py``
+    line: int          #: 1-based line number
+    col: int           #: 0-based column offset
+    message: str       #: human explanation of the violation
+    line_text: str     #: stripped source text of ``line`` (baseline key)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> tuple:
+        return (self.rule, self.path, self.line_text)
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} [{self.severity}] {self.message}")

@@ -92,7 +92,9 @@ class EnsurePolicy(OrchestrationPolicy):
         assert self.ctx is not None
         for worker in self.ctx.workers():
             funcs = set(worker.all_funcs()) | set(self._samples)
-            for func in funcs:
+            # Sorted: scale-up order decides container creation order and
+            # memory admission, so it must not follow set hash order.
+            for func in sorted(funcs):
                 target = self.target_pool(func, now)
                 warm = worker.warm_count(func) \
                     + worker.provisioning_count(func)

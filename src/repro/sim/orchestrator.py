@@ -457,6 +457,12 @@ class Orchestrator:
             if pending is None:
                 break
             self._serve(container, pending, StartType.COLD)
+        # A container that comes up idle is newly *evictable* memory —
+        # the provisioning -> ready transition is the only evictability
+        # change without a retry hook, and a blocked provision could
+        # otherwise stay stuck forever once arrivals stop.
+        if self._pending:
+            self._schedule_retry()
 
     # ==================================================================
     # Execution path

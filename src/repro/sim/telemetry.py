@@ -531,7 +531,7 @@ class TimeSeriesRecorder:
         # Sample every function that is live now, has pending start
         # counts, or was ever seen before (series stay contiguous).
         funcs = set(per_func) | set(self.functions) | set(self._pending)
-        for func in funcs:
+        for func in sorted(funcs):
             series = self.functions.get(func)
             if series is None:
                 series = self.functions[func] = FunctionSeries()

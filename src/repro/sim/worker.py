@@ -283,8 +283,13 @@ class Worker:
             assert abs(self._state_mb[state] - state_mb[state]) < 1e-6, (
                 f"state_mb[{state.value}] {self._state_mb[state]} "
                 f"!= {state_mb[state]}")
-        expect_used = (sum(c.memory_mb for c in self.containers.values())
-                       + sum(self._reservations.values()))
+        # Reference summation order: ascending container id, then
+        # reservations in sorted-tag order (FPX discipline — the cached
+        # total this checks against must be reproducible bit-for-bit).
+        expect_used = (sum(self.containers[cid].memory_mb
+                           for cid in sorted(self.containers))
+                       + sum(mb for _, mb in
+                             sorted(self._reservations.items())))
         assert abs(self._used_mb - expect_used) < 1e-6, (
             f"used_mb {self._used_mb} != containers+reservations "
             f"{expect_used}")

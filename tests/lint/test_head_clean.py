@@ -1,0 +1,34 @@
+"""The codebase itself must lint clean at HEAD.
+
+This is the acceptance gate the CI script enforces: every true positive
+has been fixed, every deliberate exemption is either suppressed inline
+with a comment or carried (with a reason) in the committed
+``lint-baseline.json`` — and no baseline entry is stale.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_baseline
+from repro.lint.engine import BASELINE_FILENAME, find_default_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+def test_src_repro_lints_clean():
+    baseline = load_baseline(REPO / BASELINE_FILENAME)
+    report = lint_paths([SRC], baseline=baseline)
+    assert report.findings == [], "\n" + report.render()
+    assert report.files > 50  # the whole package was actually walked
+
+
+def test_baseline_has_no_stale_entries():
+    baseline = load_baseline(REPO / BASELINE_FILENAME)
+    report = lint_paths([SRC], baseline=baseline)
+    assert report.stale_baseline == []
+    # Every grandfathered finding still matches something real.
+    assert report.baselined == len(baseline)
+
+
+def test_default_baseline_discovered_from_src():
+    assert find_default_baseline([SRC]) == REPO / BASELINE_FILENAME

@@ -1,0 +1,88 @@
+"""CLI surfaces: ``repro-lint`` / ``python -m repro.lint`` and the
+``cidre-sim lint`` verb share one implementation and one exit-code
+contract (0 clean, 1 findings, 2 usage error)."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.cli import main as cidre_main
+from repro.lint.cli import main as lint_main
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src" / "repro")
+
+BAD = textwrap.dedent("""\
+    import uuid
+
+    def fresh_id():
+        return uuid.uuid4()
+    """)
+
+
+def write_module(tmp_path, source):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    path = pkg / "fixture.py"
+    path.write_text(source)
+    return path
+
+
+class TestStandalone:
+    def test_clean_exit_zero(self, capsys):
+        assert lint_main([SRC]) == 0
+        assert capsys.readouterr().out.startswith("OK: 0 finding(s)")
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        module = write_module(tmp_path, BAD)
+        assert lint_main([str(module), "--no-baseline"]) == 1
+        assert "DET003" in capsys.readouterr().out
+
+    def test_missing_path_exit_two(self, capsys):
+        assert lint_main(["/nonexistent/nowhere.py"]) == 2
+        assert "repro-lint" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        module = write_module(tmp_path, BAD)
+        assert lint_main([str(module), "--no-baseline",
+                          "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"DET003": 1}
+        assert payload["findings"][0]["path"] == "repro/sim/fixture.py"
+
+    def test_rules_catalogue(self, capsys):
+        assert lint_main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET004", "PUR001", "PUR002", "FPX001",
+                     "FPX002", "API001"):
+            assert code in out
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        module = write_module(tmp_path, BAD)
+        baseline = tmp_path / "lint-baseline.json"
+        assert lint_main([str(module), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        assert lint_main([str(module), "--baseline",
+                          str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_explicit_baseline_unreadable_exit_two(self, tmp_path,
+                                                   capsys):
+        module = write_module(tmp_path, BAD)
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json")
+        assert lint_main([str(module), "--baseline", str(bad)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestCidreSimVerb:
+    def test_lint_verb_clean(self, capsys):
+        assert cidre_main(["lint", SRC]) == 0
+        assert capsys.readouterr().out.startswith("OK: 0 finding(s)")
+
+    def test_lint_verb_findings(self, tmp_path, capsys):
+        module = write_module(tmp_path, BAD)
+        assert cidre_main(["lint", str(module), "--no-baseline",
+                           "--format", "json"]) == 1
+        assert json.loads(capsys.readouterr().out)["clean"] is False

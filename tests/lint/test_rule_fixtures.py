@@ -1,0 +1,336 @@
+"""Per-rule fixtures: one purpose-built positive and negative each.
+
+Every rule must (a) fire on a minimal bad fixture placed in a path the
+rule is scoped to, and (b) stay silent on the idiomatic fix — and on the
+same bad code placed *outside* the rule's scope.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+
+SIM = "repro/sim/fixture.py"
+CORE = "repro/core/fixture.py"
+OBS = "repro/obs/fixture.py"
+HARNESS = "repro/experiments/fixture.py"
+
+
+def findings(source, relpath=SIM, select=None):
+    found, _ = lint_source(textwrap.dedent(source), relpath,
+                           select=select)
+    return found
+
+
+def codes(source, relpath=SIM, select=None):
+    return [f.rule for f in findings(source, relpath, select)]
+
+
+# ======================================================================
+# DET001 wall clock
+
+
+class TestWallClock:
+    BAD = """\
+        import time
+
+        def tick(sim):
+            return time.time()
+        """
+
+    def test_positive(self):
+        found = findings(self.BAD)
+        assert [f.rule for f in found] == ["DET001"]
+        assert "time.time" in found[0].message
+        assert found[0].line == 4
+
+    def test_datetime_now(self):
+        assert codes("""\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """) == ["DET001"]
+
+    def test_negative_virtual_time(self):
+        assert codes("""\
+            def tick(sim):
+                return sim.now
+            """) == []
+
+    def test_out_of_scope(self):
+        # Harness code may time itself on the wall clock.
+        assert codes(self.BAD, relpath=HARNESS) == []
+
+
+# ======================================================================
+# DET002 unseeded random
+
+
+class TestUnseededRandom:
+    def test_global_rng(self):
+        found = findings("""\
+            import random
+
+            def jitter():
+                return random.random()
+            """)
+        assert [f.rule for f in found] == ["DET002"]
+        assert "Orchestrator.rng" in found[0].message
+
+    def test_unseeded_constructor(self):
+        assert codes("""\
+            import random
+
+            rng = random.Random()
+            """) == ["DET002"]
+
+    def test_unseeded_default_rng(self):
+        assert codes("""\
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """) == ["DET002"]
+
+    def test_negative_seeded(self):
+        assert codes("""\
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+
+            def draw(ctx):
+                return ctx.rng.random()
+            """) == []
+
+
+# ======================================================================
+# DET003 uuid
+
+
+class TestUuid:
+    def test_positive(self):
+        found = findings("""\
+            import uuid
+
+            def fresh_id():
+                return uuid.uuid4()
+            """)
+        assert [f.rule for f in found] == ["DET003"]
+
+    def test_negative_counter(self):
+        assert codes("""\
+            import itertools
+
+            _ids = itertools.count()
+
+            def fresh_id():
+                return next(_ids)
+            """) == []
+
+
+# ======================================================================
+# DET004 unordered iteration
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_union(self):
+        found = findings("""\
+            def sweep(worker, samples):
+                funcs = set(worker.funcs()) | set(samples)
+                for func in funcs:
+                    worker.touch(func)
+            """)
+        assert [f.rule for f in found] == ["DET004"]
+        assert found[0].line == 3
+
+    def test_comprehension_over_set_literal(self):
+        assert codes("""\
+            def pick(a, b):
+                return [x for x in {a, b}]
+            """) == ["DET004"]
+
+    def test_negative_sorted(self):
+        assert codes("""\
+            def sweep(worker, samples):
+                funcs = set(worker.funcs()) | set(samples)
+                for func in sorted(funcs):
+                    worker.touch(func)
+            """) == []
+
+    def test_negative_dict_iteration(self):
+        assert codes("""\
+            def sweep(table):
+                for key in table:
+                    table[key] += 1
+            """) == []
+
+
+# ======================================================================
+# PUR001 / PUR002 observer purity
+
+
+class TestObserverPurity:
+    def test_write_through_param(self):
+        found = findings("""\
+            def emit(self, event):
+                event.func = "renamed"
+            """, relpath=OBS)
+        assert [f.rule for f in found] == ["PUR001"]
+        assert "sim-owned `event`" in found[0].message
+
+    def test_write_through_alias(self):
+        # Taint must follow the local binding and the loop variable.
+        assert codes("""\
+            def sample(self, orchestrator):
+                for worker in orchestrator.workers():
+                    worker.capacity_mb = 0.0
+            """, relpath=OBS) == ["PUR001"]
+
+    def test_mutating_call(self):
+        found = findings("""\
+            def emit(self, event, queue):
+                queue.append(event)
+            """, relpath=OBS, select=("PUR002",))
+        assert [f.rule for f in found] == ["PUR002"]
+        assert ".append()" in found[0].message
+
+    def test_transition_call_on_alias(self):
+        assert codes("""\
+            def sample(self, orchestrator):
+                for worker in orchestrator.workers():
+                    for c in worker.of_func("f"):
+                        c.mark_evicted(0.0)
+            """, relpath=OBS, select=("PUR002",)) == ["PUR002"]
+
+    def test_negative_self_state(self):
+        # Folding sim state into the observer's own structures is the
+        # sanctioned pattern.
+        assert codes("""\
+            def sample(self, orchestrator):
+                total = 0.0
+                for worker in orchestrator.workers():
+                    total = total + worker.used_mb
+                self.samples.append(total)
+                self.last_total = total
+            """, relpath=OBS) == []
+
+    def test_negative_local_rebound(self):
+        # Rebinding a name to observer-owned data clears its taint.
+        assert codes("""\
+            def emit(self, event):
+                event = dict(kind=event.kind)
+                event["seen"] = True
+            """, relpath=OBS) == []
+
+    def test_out_of_scope(self):
+        # Sim code mutates sim objects, obviously.
+        assert codes("""\
+            def evict(self, container):
+                container.mark_evicted(0.0)
+            """, relpath=SIM, select=("PUR001", "PUR002")) == []
+
+
+# ======================================================================
+# FPX001 / FPX002 float summation order
+
+
+class TestFloatSummation:
+    def test_sum_over_set(self):
+        found = findings("""\
+            def total(values):
+                pool = set(values)
+                return sum(pool)
+            """, relpath=CORE)
+        assert [f.rule for f in found] == ["FPX001"]
+
+    def test_sum_genexp_over_set_literal(self):
+        # (DET004 independently flags the same generator; selected out.)
+        assert codes("""\
+            def total(a, b):
+                return sum(x * 2.0 for x in {a, b})
+            """, relpath=CORE, select=("FPX001",)) == ["FPX001"]
+
+    def test_sum_over_dict_values(self):
+        found = findings("""\
+            def total(table):
+                return sum(table.values())
+            """, relpath=CORE)
+        assert [f.rule for f in found] == ["FPX002"]
+        assert found[0].severity == "warning"
+
+    def test_negative_sorted_order(self):
+        assert codes("""\
+            def total(table):
+                return sum(table[k] for k in sorted(table))
+            """, relpath=CORE) == []
+
+    def test_negative_list(self):
+        assert codes("""\
+            def total(rows):
+                return sum(rows)
+            """, relpath=CORE) == []
+
+
+# ======================================================================
+# API001 unit mixing
+
+
+class TestUnitMixing:
+    def test_add_ms_and_s(self):
+        found = findings("""\
+            def deadline(start_ms, timeout_s):
+                return start_ms + timeout_s
+            """)
+        assert [f.rule for f in found] == ["API001"]
+        assert "`_ms`" in found[0].message and "`_s`" in found[0].message
+
+    def test_compare_mb_and_gb(self):
+        assert codes("""\
+            def fits(self, need_mb):
+                return need_mb < self.capacity_gb
+            """) == ["API001"]
+
+    def test_attribute_and_call_operands(self):
+        assert codes("""\
+            def slack(worker, budget_gb):
+                return worker.evictable_mb() - budget_gb
+            """) == ["API001"]
+
+    def test_negative_same_unit(self):
+        assert codes("""\
+            def deadline(start_ms, timeout_ms):
+                return start_ms + timeout_ms
+            """) == []
+
+    def test_negative_explicit_conversion(self):
+        # Multiplicative conversions are the sanctioned idiom.
+        assert codes("""\
+            def deadline(start_ms, timeout_s):
+                timeout_ms = timeout_s * 1000.0
+                return start_ms + timeout_ms
+            """) == []
+
+    def test_negative_rates_excluded(self):
+        assert codes("""\
+            def drain(queue_mb, rate_mb_per_s, elapsed_s):
+                return queue_mb - rate_mb_per_s * elapsed_s
+            """) == []
+
+
+# ======================================================================
+# Cross-cutting
+
+
+def test_every_rule_has_positive_fixture():
+    """The four advertised families are all detectable."""
+    from repro.lint import all_rules
+
+    families = {rule.code[:3] for rule in all_rules()}
+    assert {"DET", "PUR", "FPX", "API"} <= families
+
+
+def test_syntax_error_reported_not_raised():
+    found = findings("def broken(:\n", relpath=SIM)
+    assert [f.rule for f in found] == ["E999"]

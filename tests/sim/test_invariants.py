@@ -116,3 +116,22 @@ def test_warm_starts_follow_completions(seed):
             first_arrival[req.func] = req
             # The very first request of a function can never be warm.
             assert req.start_type is not StartType.WARM
+
+
+def test_blocked_provision_retried_when_provisioning_completes():
+    """Regression: a cold provision blocked while every other container
+    was still PROVISIONING must be retried when those containers come
+    up idle (newly evictable memory), not only on exec_end/eviction.
+
+    Falsifying example originally found by hypothesis: with CIDRE_BSS at
+    600 MB, request 59 (f0, 437 MB) arrived at t=58606 while the only
+    other containers on the worker were three provisioning speculative
+    containers; once they became ready no further event fired and the
+    blocked provision was stuck forever.
+    """
+    specs, requests = workload(7628, n_functions=6, n_requests=60)
+    config = SimulationConfig(capacity_gb=600.0 / 1024.0)
+    result = Orchestrator(specs, CIDREBSSPolicy(), config).run(requests)
+    assert result.total == 60
+    for req in result.requests:
+        assert req.completed
