@@ -102,6 +102,26 @@ grep -q "eta" "$tmpdir/progress.log"
 test "$(grep -c "eta" "$tmpdir/progress.log")" -eq 4
 echo "progress heartbeat OK: one line per cell"
 
+echo "== chaos smoke (deterministic fault injection, sanitized) =="
+# Two identical seeded chaos runs — one plain, one sanitized — must be
+# bit-identical, actually inject crashes, and pass the sanitizer sweeps.
+chaos_common=(run --preset azure --requests 1500 --seed 3
+              --policy CIDRE --capacity-gb 4 --workers 2 --chaos-seed 7)
+python -m repro.cli "${chaos_common[@]}" > "$tmpdir/chaos-plain.txt"
+python -m repro.cli "${chaos_common[@]}" --sanitize \
+    > "$tmpdir/chaos-sanitized.txt" 2> "$tmpdir/chaos-sanitizer.log"
+if ! cmp "$tmpdir/chaos-plain.txt" "$tmpdir/chaos-sanitized.txt"; then
+    echo "FATAL: sanitized chaos replay diverged from the plain one" >&2
+    exit 1
+fi
+grep -q "sanitizer: ok" "$tmpdir/chaos-sanitizer.log"
+grep -q "worker_crashes" "$tmpdir/chaos-plain.txt"
+if grep -Eq "worker_crashes +0\.000" "$tmpdir/chaos-plain.txt"; then
+    echo "FATAL: chaos smoke injected no crashes (vacuous run)" >&2
+    exit 1
+fi
+echo "chaos replay deterministic under the sanitizer, crashes injected"
+
 echo "== replay throughput smoke (ci-smoke vs committed baseline) =="
 # Gate on the committed trajectory point: fail if the smoke scenario's
 # events/sec drops below half of BENCH_throughput.json's recorded value.

@@ -11,6 +11,12 @@ from repro.analysis.opportunity import (OpportunityResult,
                                         opportunity_sweep)
 from repro.analysis.plot import ascii_cdf, ascii_series
 from repro.analysis.report import experiment_report
+from repro.analysis.resilience import (ClassColdStarts, CrashWindow,
+                                       cold_start_breakdown,
+                                       crash_windows, goodput_series,
+                                       orphan_retry_waits,
+                                       orphan_wait_cdf,
+                                       resilience_summary)
 from repro.analysis.tables import render_cdf_series, render_table
 from repro.analysis.timeseries import timeseries_plot, timeseries_table
 from repro.analysis.whatif import (QueueAlwaysFaasCache, QueueLengthResult,
@@ -19,6 +25,9 @@ from repro.analysis.whatif import (QueueAlwaysFaasCache, QueueLengthResult,
                                    tradeoff_analysis)
 
 __all__ = [
+    "ClassColdStarts", "CrashWindow", "cold_start_breakdown",
+    "crash_windows", "goodput_series", "orphan_retry_waits",
+    "orphan_wait_cdf", "resilience_summary",
     "ECDF", "EvictionBalance", "OpportunityResult", "QueueAlwaysFaasCache",
     "eviction_balance", "expensive_decisions", "gate_flip_rows",
     "gate_flip_timeline", "gate_flips",

@@ -1,0 +1,196 @@
+"""Resilience analytics for chaos runs (:mod:`repro.sim.faults`).
+
+Everything here consumes a run's event stream (live :class:`Event`
+objects from an :class:`~repro.sim.eventlog.EventLog`, or records loaded
+back with :func:`~repro.sim.telemetry.read_events_jsonl`) plus the
+:class:`~repro.sim.metrics.SimulationResult`, and reduces them to the
+views a fault-injection experiment needs:
+
+* **crash windows** — every worker outage as a ``(crash, restart)``
+  interval, with open-ended windows for workers that never rejoined;
+* **goodput series** — completions per fixed time bucket, the signal
+  that shows throughput dipping at a crash and recovering after the
+  restart;
+* **orphan retry waits** — invocation overhead of every completed
+  request that survived at least one crash (its first execution was
+  orphaned and re-dispatched), optionally as an
+  :class:`~repro.analysis.cdf.ECDF` for latency-CDF figures;
+* **cold-start breakdown by worker class** — provision-to-ready latency
+  grouped by a :class:`~repro.sim.faults.FaultPlan`'s heterogeneous
+  worker classes, quantifying what a slow class costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.cdf import ECDF
+from repro.sim.eventlog import Event, EventKind
+from repro.sim.faults import FaultPlan
+from repro.sim.metrics import SimulationResult
+
+__all__ = ["CrashWindow", "ClassColdStarts", "cold_start_breakdown",
+           "crash_windows", "goodput_series", "orphan_retry_waits",
+           "orphan_wait_cdf", "resilience_summary"]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One worker outage interval."""
+
+    worker_id: int
+    crash_ms: float
+    #: When the worker rejoined; ``None`` when it never restarted.
+    restart_ms: Optional[float]
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        """Outage length, or ``None`` for a permanent crash."""
+        if self.restart_ms is None:
+            return None
+        return self.restart_ms - self.crash_ms
+
+
+def crash_windows(events: Iterable[Event]) -> List[CrashWindow]:
+    """Pair each ``worker_crash`` with its matching ``worker_restart``.
+
+    A worker may crash several times; restarts are matched to the most
+    recent open crash of the same worker, in stream order."""
+    windows: List[CrashWindow] = []
+    open_crash: Dict[int, int] = {}       # worker_id -> index in windows
+    for event in events:
+        if event.kind is EventKind.WORKER_CRASH:
+            open_crash[event.worker_id] = len(windows)
+            windows.append(CrashWindow(event.worker_id,
+                                       event.time_ms, None))
+        elif event.kind is EventKind.WORKER_RESTART:
+            index = open_crash.pop(event.worker_id, None)
+            if index is not None:
+                closed = windows[index]
+                windows[index] = CrashWindow(closed.worker_id,
+                                             closed.crash_ms,
+                                             event.time_ms)
+    return windows
+
+
+def goodput_series(events: Iterable[Event],
+                   bucket_ms: float = 1_000.0
+                   ) -> List[Tuple[float, int]]:
+    """Completions per fixed time bucket: ``(bucket_start_ms, count)``.
+
+    Buckets with zero completions between the first and last completion
+    are included, so the series plots as a contiguous curve and crash
+    dips show up as explicit zeros rather than gaps."""
+    if bucket_ms <= 0:
+        raise ValueError("bucket_ms must be > 0")
+    counts: Dict[int, int] = {}
+    for event in events:
+        if event.kind is EventKind.EXEC_END:
+            counts[int(event.time_ms // bucket_ms)] = counts.get(
+                int(event.time_ms // bucket_ms), 0) + 1
+    if not counts:
+        return []
+    lo, hi = min(counts), max(counts)
+    return [(bucket * bucket_ms, counts.get(bucket, 0))
+            for bucket in range(lo, hi + 1)]
+
+
+def orphan_retry_waits(result: SimulationResult) -> List[float]:
+    """Invocation overhead (ms) of every completed request that was
+    orphaned by a crash at least once, in arrival order."""
+    return [request.wait_ms for request in result.requests
+            if request.retries > 0]
+
+
+def orphan_wait_cdf(result: SimulationResult) -> Optional[ECDF]:
+    """ECDF of :func:`orphan_retry_waits`, or ``None`` when no completed
+    request was ever orphaned."""
+    waits = orphan_retry_waits(result)
+    if not waits:
+        return None
+    return ECDF(waits)
+
+
+@dataclass(frozen=True)
+class ClassColdStarts:
+    """Provision-to-ready latency profile of one worker class."""
+
+    name: str
+    count: int
+    total_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.count:
+            return 0.0
+        return self.total_ms / self.count
+
+
+def cold_start_breakdown(events: Iterable[Event],
+                         plan: Optional[FaultPlan] = None
+                         ) -> List[ClassColdStarts]:
+    """Cold-start (``provision_start`` to ``container_ready``) latency
+    grouped by the plan's worker classes.
+
+    Workers outside every class (or all workers when ``plan`` is None)
+    land in the ``"default"`` class. Provisions cancelled by a crash
+    (no matching ready event) are excluded. Classes come back sorted by
+    name."""
+    started: Dict[int, Tuple[float, Optional[int]]] = {}
+    totals: Dict[str, Tuple[int, float]] = {}
+    for event in events:
+        if event.kind is EventKind.PROVISION_START:
+            started[event.container_id] = (event.time_ms, event.worker_id)
+        elif event.kind is EventKind.CONTAINER_READY:
+            begin = started.pop(event.container_id, None)
+            if begin is None:
+                continue
+            start_ms, worker_id = begin
+            name = "default"
+            if plan is not None and worker_id is not None:
+                wclass = plan.class_of(worker_id)
+                if wclass is not None:
+                    name = wclass.name
+            count, total = totals.get(name, (0, 0.0))
+            totals[name] = (count + 1, total + event.time_ms - start_ms)
+    return [ClassColdStarts(name, count, total)
+            for name, (count, total) in sorted(totals.items())]
+
+
+def resilience_summary(result: SimulationResult,
+                       events: Iterable[Event],
+                       plan: Optional[FaultPlan] = None,
+                       bucket_ms: float = 1_000.0) -> Dict[str, float]:
+    """Flat scalar summary of a chaos run, for tables and JSON.
+
+    ``events`` is consumed several times, so pass a materialised
+    sequence (an :class:`EventLog`'s buffer or a loaded list), not a
+    one-shot generator."""
+    events = list(events)
+    windows = crash_windows(events)
+    closed = [w.duration_ms for w in windows if w.restart_ms is not None]
+    series = goodput_series(events, bucket_ms)
+    waits = orphan_retry_waits(result)
+    summary: Dict[str, float] = {
+        "crashes": float(len(windows)),
+        "permanent_crashes": float(len(windows) - len(closed)),
+        "mean_outage_ms": (sum(closed) / len(closed)) if closed else 0.0,
+        "completed": float(len(result.requests)),
+        "failed": float(len(result.failed_requests)),
+        "orphaned": float(result.orphaned_requests),
+        "reassigned": float(result.reassigned_requests),
+        "survivors": float(len(waits)),
+        "mean_goodput_per_bucket": (
+            sum(count for _, count in series) / len(series)
+            if series else 0.0),
+        "min_goodput_per_bucket": (
+            float(min(count for _, count in series)) if series else 0.0),
+    }
+    if waits:
+        cdf = ECDF(waits)
+        summary["survivor_wait_p50_ms"] = cdf.percentile(50)
+        summary["survivor_wait_p99_ms"] = cdf.percentile(99)
+    for profile in cold_start_breakdown(events, plan):
+        summary[f"cold_ms_{profile.name}"] = profile.mean_ms
+    return summary

@@ -109,6 +109,33 @@ def _make_sanitizer(args: argparse.Namespace):
     return SimSanitizer()
 
 
+def _fault_plan(args: argparse.Namespace, trace: Trace):
+    """The :class:`repro.sim.faults.FaultPlan` requested on the command
+    line, or ``None``.
+
+    ``--faults plan.json`` loads an explicit schedule and wins over
+    ``--chaos-seed N``, which derives a random-but-reproducible plan
+    from the seed, the worker count, and the trace duration."""
+    if getattr(args, "faults", None):
+        from repro.sim.faults import FaultPlan
+        return FaultPlan.from_json(args.faults)
+    chaos_seed = getattr(args, "chaos_seed", None)
+    if chaos_seed is not None:
+        from repro.sim.faults import random_plan
+        return random_plan(chaos_seed, workers=args.workers,
+                           horizon_ms=max(trace.duration_ms, 60_000.0))
+    return None
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", default=None,
+                        help="JSON fault-plan file (crashes, stragglers, "
+                             "worker classes); see repro.sim.faults")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="derive a reproducible random fault plan "
+                             "from this seed (--faults wins)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     trace = _build_trace(args)
     table = policy_factories()
@@ -119,7 +146,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = SimulationConfig(capacity_gb=args.capacity_gb,
                               workers=args.workers,
                               threads_per_container=args.threads,
-                              reference_impl=args.reference)
+                              reference_impl=args.reference,
+                              faults=_fault_plan(args, trace))
     metrics = _metrics_registry(args.metrics_out)
     sanitizer = _make_sanitizer(args)
     if args.profile:
@@ -172,7 +200,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 2
     config = SimulationConfig(capacity_gb=args.capacity_gb,
                               workers=args.workers,
-                              threads_per_container=args.threads)
+                              threads_per_container=args.threads,
+                              faults=_fault_plan(args, trace))
     sinks = []
     jsonl = spans = None
     if args.events_out:
@@ -481,7 +510,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                             metrics_dir=args.metrics_out)
     results = runner.capacity_sweep(
         trace, names, capacities, seed=args.seed,
-        workers=args.workers, threads_per_container=args.threads)
+        workers=args.workers, threads_per_container=args.threads,
+        faults=_fault_plan(args, trace))
 
     rows = []
     for res in results:
@@ -586,6 +616,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="run under the sim-sanitizer (write barrier "
                           "around probe callbacks + periodic consistency "
                           "sweeps); results stay bit-identical")
+    _add_fault_args(run)
     run.set_defaults(func=cmd_run)
 
     tr = sub.add_parser(
@@ -617,6 +648,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="run under the sim-sanitizer (write barrier "
                          "around sink/recorder callbacks + periodic "
                          "consistency sweeps); results stay bit-identical")
+    _add_fault_args(tr)
     tr.set_defaults(func=cmd_trace)
 
     audit = sub.add_parser(
@@ -712,6 +744,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="heartbeat progress on stderr: cells "
                             "done/total, per-cell wall time, ETA "
                             "(overrides --quiet)")
+    _add_fault_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(

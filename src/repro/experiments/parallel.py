@@ -56,7 +56,9 @@ from repro.traces.schema import Trace
 #: Bump when the cached payload layout or simulator semantics change.
 #: v2: ``avg_memory_mb`` became a true time-weighted (trapezoidal)
 #: average, so v1 summaries are no longer comparable.
-CACHE_VERSION = 2
+#: v3: ``summary()`` gained the fault-layer keys (worker_crashes,
+#: orphaned/reassigned/failed_requests); v2 payloads lack them.
+CACHE_VERSION = 3
 
 ProgressFn = Callable[[int, int, "CellTiming"], None]
 

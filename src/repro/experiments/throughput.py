@@ -20,6 +20,10 @@ Scenarios
 ``azure-preset``
     The unpressured Azure preset — guards the common no-eviction regime
     against regressions hiding behind eviction-path wins.
+``resilience``
+    A 2-worker replay under a seeded chaos plan (``repro.sim.faults``):
+    worker crashes with orphan reassignment, straggler slowdowns, and a
+    heterogeneous worker class — times the fault layer's teardown paths.
 
 Use
 ---
@@ -67,6 +71,11 @@ class BenchScenario:
     duration_ms: Optional[float] = None
     capacity_gb: float = 8.0
     policies: Tuple[str, ...] = ("CIDRE",)
+    workers: int = 1
+    #: When set, the cell replays under a seeded random fault plan
+    #: (worker crashes, stragglers, heterogeneity) — the crash-teardown
+    #: and orphan-retry paths get a timed regime of their own.
+    chaos_seed: Optional[int] = None
 
     def build_trace(self) -> Trace:
         if self.preset == "azure":
@@ -81,8 +90,16 @@ class BenchScenario:
         return build(**kwargs)
 
     def config(self, reference_impl: bool = False) -> SimulationConfig:
+        faults = None
+        if self.chaos_seed is not None:
+            from repro.sim.faults import random_plan
+            horizon = self.duration_ms or THIRTY_MINUTES_MS
+            faults = random_plan(self.chaos_seed, workers=self.workers,
+                                 horizon_ms=horizon)
         return SimulationConfig(capacity_gb=self.capacity_gb,
-                                reference_impl=reference_impl)
+                                workers=self.workers,
+                                reference_impl=reference_impl,
+                                faults=faults)
 
 
 #: The standard suite, in run order.
@@ -108,6 +125,13 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         description="unpressured Azure preset (no-eviction regime guard)",
         seed=1, total_requests=20_000, capacity_gb=100.0,
         policies=("TTL", "FaasCache", "CIDRE")),
+    BenchScenario(
+        name="resilience",
+        description="2-worker replay under a seeded chaos plan (crashes, "
+                    "stragglers, heterogeneity): times the fault layer's "
+                    "crash-teardown and orphan-retry paths",
+        seed=3, total_requests=20_000, capacity_gb=4.0, workers=2,
+        chaos_seed=7, policies=("CIDRE",)),
 )
 
 

@@ -343,6 +343,19 @@ class OrchestrationPolicy:
     def on_eviction(self, victims: List["Container"], now: float) -> None:
         """Containers were reclaimed (capacity pressure or maintenance)."""
 
+    def on_worker_crash(self, worker: "Worker", victims: List["Container"],
+                        now: float) -> None:
+        """A worker crashed (fault injection), destroying ``victims`` in
+        every state — busy and provisioning included, unlike a normal
+        eviction. Default: account them like evictions so priority
+        bookkeeping (GDSF/CIP clocks, idle-window tracking) stays
+        consistent; override for crash-specific behaviour."""
+        if victims:
+            self.on_eviction(victims, now)
+
+    def on_worker_restart(self, worker: "Worker", now: float) -> None:
+        """A crashed worker rejoined with an empty cache."""
+
     # ------------------------------------------------------------------
     # Periodic maintenance
 

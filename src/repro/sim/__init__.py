@@ -4,6 +4,8 @@ from repro.sim.config import SimulationConfig
 from repro.sim.container import Container, ContainerState
 from repro.sim.engine import Simulator
 from repro.sim.eventlog import Event, EventKind, EventLog
+from repro.sim.faults import (CrashSpec, FaultPlan, RetryPolicy,
+                              StragglerSpec, WorkerClassSpec, random_plan)
 from repro.sim.function import FunctionSpec, LayerStack
 from repro.sim.metrics import MetricsCollector, SimulationResult
 from repro.sim.orchestrator import Orchestrator, simulate
@@ -16,11 +18,12 @@ from repro.sim.telemetry import (EventSink, JsonlSink, RequestSpan,
 from repro.sim.worker import Worker
 
 __all__ = [
-    "Container", "ContainerState", "Event", "EventKind", "EventLog",
-    "EventSink", "FunctionSpec", "JsonlSink", "LayerStack",
-    "MetricsCollector", "Orchestrator", "Request", "RequestSpan",
-    "RingSink", "SimulationConfig", "SimulationResult", "Simulator",
-    "SpanBuilder", "StartType", "TimeSeriesRecorder", "Worker",
-    "build_spans", "chrome_trace", "read_events_jsonl", "simulate",
-    "write_chrome_trace",
+    "Container", "ContainerState", "CrashSpec", "Event", "EventKind",
+    "EventLog", "EventSink", "FaultPlan", "FunctionSpec", "JsonlSink",
+    "LayerStack", "MetricsCollector", "Orchestrator", "Request",
+    "RequestSpan", "RetryPolicy", "RingSink", "SimulationConfig",
+    "SimulationResult", "Simulator", "SpanBuilder", "StartType",
+    "StragglerSpec", "TimeSeriesRecorder", "Worker", "WorkerClassSpec",
+    "build_spans", "chrome_trace", "random_plan", "read_events_jsonl",
+    "simulate", "write_chrome_trace",
 ]

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.sim.faults import FaultPlan
+
 MB_PER_GB = 1024.0
 
 
@@ -48,6 +50,11 @@ class SimulationConfig:
         eviction ranking) instead of the incrementally maintained indexes.
         Results are bit-identical either way — the flag exists for the
         differential tests and for benchmarking the index speedup.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan`: scheduled worker
+        crashes/restarts, straggler windows and heterogeneous worker
+        classes. ``None`` (the default) keeps the fault layer provably
+        inert — the event stream is bit-identical to a faults-free build.
     """
 
     capacity_gb: float = 100.0
@@ -57,6 +64,7 @@ class SimulationConfig:
     dispatch: str = "hash"
     seed: Optional[int] = None
     reference_impl: bool = False
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.capacity_gb <= 0:
@@ -69,6 +77,8 @@ class SimulationConfig:
             raise ValueError(f"unknown dispatch policy {self.dispatch!r}")
         if self.seed is not None and not isinstance(self.seed, int):
             raise ValueError("seed must be an int or None")
+        if self.faults is not None:
+            self.faults.validate(self.workers)
 
     @property
     def capacity_mb(self) -> float:

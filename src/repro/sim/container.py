@@ -210,6 +210,22 @@ class Container:
         self.state = ContainerState.EVICTED
         self._reindex(old, old_mb)
 
+    def destroy(self) -> List["Request"]:
+        """Fault-injection teardown: force EVICTED from *any* state.
+
+        Unlike :meth:`mark_evicted` this is legal while BUSY or
+        PROVISIONING — a worker crash kills executions in flight. Returns
+        the requests that were active so the caller can orphan them. The
+        caller must have detached ``worker`` already (a crash clears the
+        worker's indexes wholesale rather than unfiling one by one).
+        """
+        old, old_mb = self.state, self.memory_mb
+        orphans = list(self.active)
+        self.active.clear()
+        self.state = ContainerState.EVICTED
+        self._reindex(old, old_mb)  # no-op once detached
+        return orphans
+
     # ------------------------------------------------------------------
 
     @property

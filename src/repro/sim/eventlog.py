@@ -31,6 +31,12 @@ class EventKind(enum.Enum):
     EVICTION = "eviction"
     COMPRESSION = "compression"
     RESTORE_START = "restore_start"
+    # Fault-injection events (repro.sim.faults); only emitted when a
+    # FaultPlan is configured.
+    WORKER_CRASH = "worker_crash"
+    WORKER_RESTART = "worker_restart"
+    REQUEST_ORPHANED = "request_orphaned"
+    REQUEST_REASSIGNED = "request_reassigned"
 
 
 #: Causal ordering of lifecycle events that share a timestamp: a request
@@ -45,6 +51,16 @@ LIFECYCLE_RANK = {
     EventKind.RESTORE_START: 2,
     EventKind.CONTAINER_READY: 3,
     EventKind.EXEC_START: 4,
+    # Fault events slot between a started execution and its (never
+    # reached) completion: a crash orphans running work, the orphan is
+    # reassigned, the worker restarts. Same-tick retry chains that loop
+    # back into provisioning are inherently cyclic; within one tick the
+    # log's append order stays the causal ground truth (sorted() is
+    # stable, so equal keys preserve it).
+    EventKind.WORKER_CRASH: 4.1,
+    EventKind.REQUEST_ORPHANED: 4.2,
+    EventKind.REQUEST_REASSIGNED: 4.3,
+    EventKind.WORKER_RESTART: 4.4,
     EventKind.EXEC_END: 5,
     EventKind.COMPRESSION: 6,
     EventKind.EVICTION: 7,

@@ -1,0 +1,322 @@
+"""Deterministic fault injection: crashes, stragglers, heterogeneity.
+
+A :class:`FaultPlan` is a *schedule*, not a random process: every crash,
+straggler window and worker class is pinned to concrete times and worker
+ids before the simulation starts. Randomness lives entirely in
+:func:`random_plan`, which expands a seed into such a schedule with a
+dedicated ``random.Random(seed)`` — so a chaos run is a deterministic
+function of (trace, policy, config, plan) and replays bit-identically.
+
+Fault model
+-----------
+* **Worker crash** (:class:`CrashSpec`): at ``at_ms`` the worker drops
+  offline and every hosted container — idle, busy, provisioning or
+  compressed — is destroyed. In-flight requests are *orphaned* and
+  re-dispatched to surviving workers under the plan's
+  :class:`RetryPolicy`; requests whose retry budget is exhausted are
+  accounted as failed (never silently lost). The worker rejoins with an
+  empty cache after ``restart_delay_ms`` (``None`` = never rejoins).
+  A crash scheduled while the worker is already down is ignored.
+* **Straggler** (:class:`StragglerSpec`): inside ``[start_ms, end_ms)``
+  the worker's execution and cold-start latencies are multiplied.
+  Multipliers apply at *scheduling* time (when the execution or
+  provision starts), mirroring how a slow machine stretches whatever
+  work lands on it; overlapping windows multiply together.
+* **Worker class** (:class:`WorkerClassSpec`): static heterogeneity —
+  per-class memory capacity and a cold-start multiplier, so the cluster
+  need not be uniform.
+
+Determinism contract
+--------------------
+``SimulationConfig(faults=None)`` — and equally an empty
+``FaultPlan()`` — is *inert*: the orchestrator takes byte-identical
+decisions and emits a byte-identical event stream to a build without
+this module (pinned by ``tests/sim/test_faults_differential.py``).
+
+All specs are frozen dataclasses over tuples: hashable (so
+``SimulationConfig`` stays hashable), picklable (so fault plans travel
+to parallel sweep workers), and JSON round-trippable via
+:meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+#: Schema tag written by :meth:`FaultPlan.to_dict`.
+PLAN_SCHEMA = "repro/fault-plan/v1"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What happens to requests orphaned by a worker crash.
+
+    Parameters
+    ----------
+    max_retries:
+        How many times one request may be re-dispatched after losing its
+        container to a crash. ``0`` fails a request on its first orphaning.
+    retry_delay_ms:
+        Delay between orphaning and re-dispatch (detection + rescheduling
+        cost of a real control plane).
+    """
+
+    max_retries: int = 2
+    retry_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_delay_ms < 0:
+            raise ValueError("retry_delay_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One scheduled worker crash (and optional restart)."""
+
+    worker_id: int
+    at_ms: float
+    #: ``None`` = the worker never rejoins.
+    restart_delay_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise ValueError("worker_id must be >= 0")
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be >= 0")
+        if self.restart_delay_ms is not None and self.restart_delay_ms < 0:
+            raise ValueError("restart_delay_ms must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """A per-worker slowdown window ``[start_ms, end_ms)``."""
+
+    worker_id: int
+    start_ms: float
+    end_ms: float
+    exec_multiplier: float = 1.0
+    cold_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise ValueError("worker_id must be >= 0")
+        if self.start_ms < 0:
+            raise ValueError("start_ms must be >= 0")
+        if self.end_ms <= self.start_ms:
+            raise ValueError("end_ms must be > start_ms")
+        if self.exec_multiplier <= 0 or self.cold_multiplier <= 0:
+            raise ValueError("multipliers must be > 0")
+
+    def covers(self, now: float) -> bool:
+        return self.start_ms <= now < self.end_ms
+
+
+@dataclass(frozen=True)
+class WorkerClassSpec:
+    """A static worker class: capacity override + cold-start multiplier."""
+
+    name: str
+    workers: Tuple[int, ...]
+    #: Per-worker capacity; ``None`` keeps the even capacity split.
+    memory_mb: Optional[float] = None
+    cold_start_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workers", tuple(self.workers))
+        if not self.name:
+            raise ValueError("worker class needs a name")
+        if not self.workers:
+            raise ValueError(f"class {self.name!r} lists no workers")
+        if any(w < 0 for w in self.workers):
+            raise ValueError(f"class {self.name!r}: worker ids must be >= 0")
+        if self.memory_mb is not None and self.memory_mb <= 0:
+            raise ValueError(f"class {self.name!r}: memory_mb must be > 0")
+        if self.cold_start_multiplier <= 0:
+            raise ValueError(
+                f"class {self.name!r}: cold_start_multiplier must be > 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule for one run. Empty plans are inert."""
+
+    crashes: Tuple[CrashSpec, ...] = ()
+    stragglers: Tuple[StragglerSpec, ...] = ()
+    worker_classes: Tuple[WorkerClassSpec, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(self, "worker_classes",
+                           tuple(self.worker_classes))
+        claimed: Dict[int, str] = {}
+        for cls in self.worker_classes:
+            for wid in cls.workers:
+                if wid in claimed:
+                    raise ValueError(
+                        f"worker {wid} in classes {claimed[wid]!r} "
+                        f"and {cls.name!r}")
+                claimed[wid] = cls.name
+
+    # ------------------------------------------------------------------
+    # Validation against a concrete cluster
+
+    def validate(self, workers: int) -> None:
+        """Check every worker id fits a ``workers``-sized cluster."""
+        for crash in self.crashes:
+            if crash.worker_id >= workers:
+                raise ValueError(
+                    f"crash targets worker {crash.worker_id} but the "
+                    f"cluster has {workers}")
+        for straggler in self.stragglers:
+            if straggler.worker_id >= workers:
+                raise ValueError(
+                    f"straggler targets worker {straggler.worker_id} but "
+                    f"the cluster has {workers}")
+        for cls in self.worker_classes:
+            for wid in cls.workers:
+                if wid >= workers:
+                    raise ValueError(
+                        f"class {cls.name!r} lists worker {wid} but the "
+                        f"cluster has {workers}")
+
+    # ------------------------------------------------------------------
+    # Queries the orchestrator consults
+
+    def class_of(self, worker_id: int) -> Optional[WorkerClassSpec]:
+        for cls in self.worker_classes:
+            if worker_id in cls.workers:
+                return cls
+        return None
+
+    def worker_capacity_mb(self, worker_id: int, default_mb: float) -> float:
+        cls = self.class_of(worker_id)
+        if cls is not None and cls.memory_mb is not None:
+            return cls.memory_mb
+        return default_mb
+
+    def exec_multiplier(self, worker_id: int, now: float) -> float:
+        """Execution-time factor on ``worker_id`` at ``now`` (>= plan
+        order product of covering straggler windows)."""
+        factor = 1.0
+        for straggler in self.stragglers:
+            if straggler.worker_id == worker_id and straggler.covers(now):
+                factor *= straggler.exec_multiplier
+        return factor
+
+    def cold_multiplier(self, worker_id: int, now: float) -> float:
+        """Provision/restore-cost factor: worker class times any covering
+        straggler windows."""
+        factor = 1.0
+        cls = self.class_of(worker_id)
+        if cls is not None:
+            factor *= cls.cold_start_multiplier
+        for straggler in self.stragglers:
+            if straggler.worker_id == worker_id and straggler.covers(now):
+                factor *= straggler.cold_multiplier
+        return factor
+
+    def crashes_sorted(self) -> List[CrashSpec]:
+        return sorted(self.crashes, key=lambda c: (c.at_ms, c.worker_id))
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA,
+            "retry": {"max_retries": self.retry.max_retries,
+                      "retry_delay_ms": self.retry.retry_delay_ms},
+            "crashes": [
+                {"worker_id": c.worker_id, "at_ms": c.at_ms,
+                 "restart_delay_ms": c.restart_delay_ms}
+                for c in self.crashes],
+            "stragglers": [
+                {"worker_id": s.worker_id, "start_ms": s.start_ms,
+                 "end_ms": s.end_ms, "exec_multiplier": s.exec_multiplier,
+                 "cold_multiplier": s.cold_multiplier}
+                for s in self.stragglers],
+            "worker_classes": [
+                {"name": k.name, "workers": list(k.workers),
+                 "memory_mb": k.memory_mb,
+                 "cold_start_multiplier": k.cold_start_multiplier}
+                for k in self.worker_classes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        schema = payload.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ValueError(f"unknown fault-plan schema {schema!r}")
+        retry = RetryPolicy(**payload.get("retry", {}))
+        crashes = tuple(CrashSpec(**c) for c in payload.get("crashes", []))
+        stragglers = tuple(StragglerSpec(**s)
+                           for s in payload.get("stragglers", []))
+        classes = tuple(WorkerClassSpec(**k)
+                        for k in payload.get("worker_classes", []))
+        return cls(crashes, stragglers, classes, retry)
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def with_retry(self, retry: RetryPolicy) -> "FaultPlan":
+        return replace(self, retry=retry)
+
+
+def random_plan(seed: int, workers: int, horizon_ms: float,
+                crashes: int = 2, stragglers: int = 2,
+                heterogeneity: bool = True,
+                retry: Optional[RetryPolicy] = None) -> FaultPlan:
+    """Expand a chaos seed into a concrete :class:`FaultPlan`.
+
+    Crashes land in the first 85% of the horizon and always schedule a
+    restart (5-15% of the horizon later), so a generated plan exercises
+    churn without starving the tail of the trace of capacity. Worker
+    classes only carry cold-start multipliers — capacity overrides are an
+    explicit, hand-written choice because they interact with the
+    function-footprint feasibility check.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    rng = random.Random(seed)
+    horizon = max(float(horizon_ms), 1_000.0)
+    crash_specs = []
+    for _ in range(crashes):
+        crash_specs.append(CrashSpec(
+            worker_id=rng.randrange(workers),
+            at_ms=rng.uniform(0.10, 0.85) * horizon,
+            restart_delay_ms=rng.uniform(0.05, 0.15) * horizon))
+    straggler_specs = []
+    for _ in range(stragglers):
+        start = rng.uniform(0.0, 0.8) * horizon
+        straggler_specs.append(StragglerSpec(
+            worker_id=rng.randrange(workers),
+            start_ms=start,
+            end_ms=start + rng.uniform(0.05, 0.3) * horizon,
+            exec_multiplier=rng.uniform(1.2, 3.0),
+            cold_multiplier=rng.uniform(1.0, 2.0)))
+    classes: Tuple[WorkerClassSpec, ...] = ()
+    if heterogeneity and workers > 1:
+        slow = tuple(sorted(rng.sample(range(workers), workers // 2)))
+        classes = (WorkerClassSpec(
+            "slow", workers=slow,
+            cold_start_multiplier=rng.uniform(1.2, 2.5)),)
+    return FaultPlan(
+        crashes=tuple(sorted(crash_specs,
+                             key=lambda c: (c.at_ms, c.worker_id))),
+        stragglers=tuple(straggler_specs),
+        worker_classes=classes,
+        retry=retry if retry is not None else RetryPolicy())

@@ -41,9 +41,18 @@ class MetricsCollector:
         #: Total memory of all containers provisioned over the run (the
         #: Fig. 16 "memory usage" metric — it can exceed the cache size).
         self.provisioned_mb = 0.0
+        # Fault-injection accounting (all stay 0 without a FaultPlan).
+        self.worker_crashes = 0
+        self.crash_destroyed = 0      # containers destroyed by crashes
+        self.orphaned_requests = 0    # in-flight executions lost to crashes
+        self.reassigned_requests = 0  # re-dispatches (retries + re-routes)
+        self.failed_requests: List[Request] = []
 
     def record_request(self, request: Request) -> None:
         self.requests.append(request)
+
+    def record_failed(self, request: Request) -> None:
+        self.failed_requests.append(request)
 
     def record_memory(self, time_ms: float, used_mb: float) -> None:
         self.memory_samples.append(MemorySample(time_ms, used_mb))
@@ -58,6 +67,11 @@ class MetricsCollector:
             prewarm_starts=self.prewarm_starts,
             restores=self.restores,
             provisioned_mb=self.provisioned_mb,
+            worker_crashes=self.worker_crashes,
+            crash_destroyed=self.crash_destroyed,
+            orphaned_requests=self.orphaned_requests,
+            reassigned_requests=self.reassigned_requests,
+            failed_requests=self.failed_requests,
         )
 
 
@@ -73,6 +87,14 @@ class SimulationResult:
     prewarm_starts: int = 0
     restores: int = 0
     provisioned_mb: float = 0.0
+    # Fault-injection outcomes. ``requests`` holds only *completed*
+    # requests; under a FaultPlan the arrivals partition into
+    # ``requests`` + ``failed_requests`` (no silent loss).
+    worker_crashes: int = 0
+    crash_destroyed: int = 0
+    orphaned_requests: int = 0
+    reassigned_requests: int = 0
+    failed_requests: List[Request] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Counts
@@ -197,4 +219,8 @@ class SimulationResult:
             "avg_memory_mb": self.avg_memory_mb,
             "wasted_cold_starts": float(self.wasted_cold_starts),
             "evictions": float(self.evictions),
+            "worker_crashes": float(self.worker_crashes),
+            "orphaned_requests": float(self.orphaned_requests),
+            "reassigned_requests": float(self.reassigned_requests),
+            "failed_requests": float(len(self.failed_requests)),
         }

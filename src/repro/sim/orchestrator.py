@@ -34,6 +34,7 @@ from repro.sim.config import SimulationConfig
 from repro.sim.container import Container, ContainerState
 from repro.sim.engine import Simulator
 from repro.sim.eventlog import EventKind, EventLog
+from repro.sim.faults import CrashSpec
 from repro.sim.function import FunctionSpec
 from repro.sim.metrics import MetricsCollector, SimulationResult
 from repro.sim.request import Request, StartType
@@ -128,21 +129,48 @@ class Orchestrator:
         self._m_requests = self._m_starts = self._m_decisions = None
         self._m_evictions = self._m_provisions = self._m_blocked = None
         self._m_wait = self._m_used = None
+        self._m_crashes = self._m_orphaned = None
+        self._m_reassigned = self._m_failed = None
         if metrics is not None:
             self._instrument(metrics)
         self.specs: Dict[str, FunctionSpec] = {f.name: f for f in functions}
         self._usage = _ClusterUsage()
         self._used_mb_cache = 0.0
+        #: The fault schedule, or None. Every fault-layer code path below
+        #: is gated on this being set, keeping faults-off runs
+        #: bit-identical to a build without the fault layer.
+        self._faults = self.config.faults
+        if self._faults is None:
+            capacities = [self.config.per_worker_mb] * self.config.workers
+        else:
+            capacities = [
+                self._faults.worker_capacity_mb(i, self.config.per_worker_mb)
+                for i in range(self.config.workers)]
         self._workers: List[Worker] = [
-            Worker(i, self.config.per_worker_mb, naive=self._naive,
-                   usage=self._usage)
+            Worker(i, capacities[i], naive=self._naive, usage=self._usage)
             for i in range(self.config.workers)
         ]
+        if self._faults is not None:
+            for worker in self._workers:
+                cls = self._faults.class_of(worker.worker_id)
+                if cls is not None:
+                    worker.wclass = cls.name
+        # Every function must fit every worker: crashes and dispatch
+        # filtering mean any function can land on any (online) worker.
+        floor_mb = min(capacities)
         for spec in self.specs.values():
-            if spec.memory_mb > self.config.per_worker_mb:
+            if spec.memory_mb > floor_mb:
                 raise ValueError(
                     f"{spec.name} needs {spec.memory_mb} MB but each worker "
-                    f"has only {self.config.per_worker_mb} MB")
+                    f"has only {floor_mb} MB")
+        #: req_id -> in-flight execution event (fault layer only; lets a
+        #: crash cancel the completions of destroyed containers in O(1)).
+        self._exec_events: Dict[int, object] = {}
+        #: container_id -> (ready event, bound waiter) for provisions and
+        #: restores in flight (fault layer only).
+        self._provision_events: Dict[int, tuple] = {}
+        #: Pending restart times of currently-offline workers.
+        self._restart_times: List[float] = []
         self._waiters: Dict[str, Deque[_Waiter]] = {}
         self._unserved: Dict[str, int] = {}
         self._committed: Dict[int, Deque[_Waiter]] = {}
@@ -180,6 +208,18 @@ class Orchestrator:
             "Per-request wait between arrival and execution start")
         self._m_used = metrics.gauge(
             "repro_used_mb", "Cluster committed memory at the last sample")
+        self._m_crashes = metrics.counter(
+            "repro_worker_crashes_total",
+            "Injected worker crashes (fault layer)")
+        self._m_orphaned = metrics.counter(
+            "repro_requests_orphaned_total",
+            "In-flight requests orphaned by worker crashes")
+        self._m_reassigned = metrics.counter(
+            "repro_requests_reassigned_total",
+            "Requests re-dispatched after losing their worker")
+        self._m_failed = metrics.counter(
+            "repro_requests_failed_total",
+            "Requests dropped with the crash-retry budget exhausted")
 
     # ==================================================================
     # PolicyContext facade
@@ -221,6 +261,8 @@ class Orchestrator:
         start a container for it after all). Returns False when the
         provision had to be deferred for memory.
         """
+        if self._faults is not None and not self._any_online():
+            return False
         worker = self._dispatch(func)
         container = self._provision(self.specs[func], worker, waiter=None,
                                     speculative=True)
@@ -268,6 +310,8 @@ class Orchestrator:
 
     def prewarm(self, spec: FunctionSpec, worker: Worker) -> bool:
         """Provision a container ahead of demand (IceBreaker / ENSURE)."""
+        if self._faults is not None and not worker.online:
+            return False
         if not self.policy.make_room(worker, spec.memory_mb, self.sim.now,
                                      for_func=spec.name):
             return False
@@ -287,6 +331,9 @@ class Orchestrator:
             if req.func not in self.specs:
                 raise KeyError(f"request targets unknown function {req.func}")
             self.sim.at(req.arrival_ms, self._on_arrival, req)
+        if self._faults is not None:
+            for crash in self._faults.crashes_sorted():
+                self.sim.at(crash.at_ms, self._on_worker_crash, crash)
         if self.config.memory_sample_interval_ms > 0:
             self.sim.every(self.config.memory_sample_interval_ms,
                            self._sample_memory, start_delay=0.0)
@@ -304,6 +351,9 @@ class Orchestrator:
     # Arrival path
 
     def _on_arrival(self, request: Request) -> None:
+        if self._faults is not None and not self._any_online():
+            self._defer_or_fail(request, self._on_arrival)
+            return
         now = self.sim.now
         worker = self._dispatch(request.func)
         self._log(EventKind.ARRIVAL, request.func, req_id=request.req_id,
@@ -311,7 +361,12 @@ class Orchestrator:
         if self._m_requests is not None:
             self._m_requests.inc()
         self.policy.on_request_arrival(request, worker, now)
+        self._route(request, worker)
 
+    def _route(self, request: Request, worker: Worker) -> None:
+        """Match ``request`` against warm capacity or the scaling policy
+        (shared by fresh arrivals and crash reassignments)."""
+        now = self.sim.now
         # Step 1a: true warm start on an idle container / free slot.
         candidate = worker.slot_available(request.func)
         if candidate is not None:
@@ -366,6 +421,196 @@ class Orchestrator:
         return decision
 
     # ==================================================================
+    # Fault injection (every path below requires self._faults)
+
+    def _any_online(self) -> bool:
+        for worker in self._workers:
+            if worker.online:
+                return True
+        return False
+
+    def _next_restart(self) -> Optional[float]:
+        return min(self._restart_times) if self._restart_times else None
+
+    def _defer_or_fail(self, request: Request, callback) -> None:
+        """Nothing is online: park ``request`` until the next restart, or
+        fail it when no worker will ever come back."""
+        restart_at = self._next_restart()
+        if restart_at is None:
+            self._fail_request(request, "no-online-workers")
+        else:
+            # The restart event was scheduled at crash time, so it holds
+            # an earlier sequence number and fires first at restart_at.
+            self.sim.at(restart_at, callback, request)
+
+    def _fail_request(self, request: Request, detail: str,
+                      worker_id: Optional[int] = None) -> None:
+        request.failed = True
+        self._log(EventKind.REQUEST_ORPHANED, request.func,
+                  req_id=request.req_id, detail=detail, worker_id=worker_id)
+        self.metrics.record_failed(request)
+        if self._m_failed is not None:
+            self._m_failed.inc()
+
+    def _on_worker_crash(self, crash: CrashSpec) -> None:
+        worker = self._workers[crash.worker_id]
+        if not worker.online:
+            return  # plan crashed a worker that is already down
+        now = self.sim.now
+        self._log(EventKind.WORKER_CRASH, "", worker_id=worker.worker_id,
+                  detail=f"containers={len(worker.containers)}")
+        self.metrics.worker_crashes += 1
+        if self._m_crashes is not None:
+            self._m_crashes.inc()
+        if crash.restart_delay_ms is not None:
+            restart_at = now + crash.restart_delay_ms
+            self._restart_times.append(restart_at)
+            self.sim.at(restart_at, self._on_worker_restart, worker)
+        victims = worker.crash()
+        self.metrics.crash_destroyed += len(victims)
+        orphans: List[Request] = []
+        rebind: List[_Waiter] = []
+        for container in victims:
+            if container.speculative and not container.served_any:
+                self.metrics.wasted_cold_starts += 1
+            orphans.extend(container.destroy())
+            entry = self._provision_events.pop(container.container_id, None)
+            if entry is not None:
+                event, waiter = entry
+                event.cancel()
+                if waiter is not None and not waiter.served:
+                    waiter.bound = None
+                    rebind.append(waiter)
+            committed = self._committed.pop(container.container_id, None)
+            if committed is not None:
+                for waiter in committed:
+                    waiter.committed = None
+        self.policy.on_worker_crash(worker, victims, now)
+        retry = self._faults.retry
+        for request in orphans:
+            event = self._exec_events.pop(request.req_id, None)
+            if event is not None:
+                event.cancel()
+            self.metrics.orphaned_requests += 1
+            if self._m_orphaned is not None:
+                self._m_orphaned.inc()
+            if request.retries < retry.max_retries:
+                request.retries += 1
+                request.start_ms = None
+                request.start_type = None
+                request.container_id = None
+                self._log(EventKind.REQUEST_ORPHANED, request.func,
+                          req_id=request.req_id, worker_id=worker.worker_id,
+                          detail="exec:retry")
+                self.sim.schedule(retry.retry_delay_ms, self._on_reassigned,
+                                  request)
+            else:
+                self._fail_request(request, "exec:exhausted",
+                                   worker_id=worker.worker_id)
+        for waiter in rebind:
+            self._rebind_waiter(waiter)
+        # Blocked provisions aimed at the dead worker move to a live one;
+        # if nothing is online they stay put until a restart retries them.
+        if self._any_online():
+            for pend in self._pending:
+                if pend.worker is worker and not pend.abandoned:
+                    pend.worker = self._dispatch(pend.spec.name)
+        self._rescue_starved()
+
+    def _on_worker_restart(self, worker: Worker) -> None:
+        now = self.sim.now
+        self._restart_times.remove(now)
+        worker.restart()
+        self._log(EventKind.WORKER_RESTART, "", worker_id=worker.worker_id)
+        self.policy.on_worker_restart(worker, now)
+        if self._pending:
+            self._schedule_retry()
+
+    def _on_reassigned(self, request: Request) -> None:
+        """Re-dispatch an orphaned (or starved) request as a fresh demand
+        signal on a surviving worker."""
+        if request.failed:  # pragma: no cover - defensive
+            return
+        if not self._any_online():
+            self._defer_or_fail(request, self._on_reassigned)
+            return
+        now = self.sim.now
+        worker = self._dispatch(request.func)
+        self._log(EventKind.REQUEST_REASSIGNED, request.func,
+                  req_id=request.req_id, worker_id=worker.worker_id,
+                  detail=f"attempt{request.retries}")
+        self.metrics.reassigned_requests += 1
+        if self._m_reassigned is not None:
+            self._m_reassigned.inc()
+        # A reassignment is a new arrival from the policy's perspective:
+        # frequency/popularity statistics should see the extra demand.
+        self.policy.on_request_arrival(request, worker, now)
+        self._route(request, worker)
+
+    def _rebind_waiter(self, waiter: _Waiter) -> None:
+        """Restart the cold start for a waiter whose bound provisioning
+        container died with its worker (no retry budget consumed — the
+        request never began executing)."""
+        if waiter.served:  # pragma: no cover - defensive
+            return
+        request = waiter.request
+        if not self._any_online():
+            restart_at = self._next_restart()
+            if restart_at is None:
+                waiter.served = True
+                self._unserved[request.func] -= 1
+                self._fail_request(request, "no-online-workers")
+            else:
+                self.sim.at(restart_at, self._rebind_waiter, waiter)
+            return
+        worker = self._dispatch(request.func)
+        self._log(EventKind.REQUEST_REASSIGNED, request.func,
+                  req_id=request.req_id, worker_id=worker.worker_id,
+                  detail="provision")
+        self.metrics.reassigned_requests += 1
+        if self._m_reassigned is not None:
+            self._m_reassigned.inc()
+        self._provision(self.specs[request.func], worker, waiter=waiter,
+                        speculative=False)
+
+    def _supply_of(self, func: str) -> int:
+        """Execution-slot sources that can still serve ``func`` waiters:
+        blocked + in-flight provisions and busy containers on online
+        workers."""
+        count = self._pending_by_func.get(func, 0)
+        for worker in self._workers:
+            if not worker.online:
+                continue
+            if self._naive:
+                count += (len(worker.busy_of(func))
+                          + len(worker.provisioning_of(func)))
+            else:
+                count += (worker.busy_count(func)
+                          + worker.provisioning_count(func))
+        return count
+
+    def _rescue_starved(self) -> None:
+        """Re-route queued waiters whose entire supply died in the crash.
+
+        A QUEUE-decision waiter relies on busy/provisioning containers of
+        its function; when the crash destroyed the last of them nothing
+        will ever drain the FIFO. Such waiters are marked served and
+        re-enter through the reassignment path (no retry budget consumed).
+        """
+        for func in sorted(self.waiting_functions()):
+            if self._supply_of(func) > 0:
+                continue
+            queue = self._waiters.get(func)
+            if not queue:
+                continue
+            for waiter in list(queue):
+                if waiter.served or waiter.bound is not None:
+                    continue
+                waiter.served = True
+                self._unserved[func] -= 1
+                self.sim.schedule(0.0, self._on_reassigned, waiter.request)
+
+    # ==================================================================
     # Provisioning path
 
     def _provision(self, spec: FunctionSpec, worker: Worker,
@@ -388,6 +633,8 @@ class Orchestrator:
                          prewarm: bool) -> Container:
         now = self.sim.now
         cost = self.policy.provision_cost_ms(spec, worker, now)
+        if self._faults is not None:
+            cost = cost * self._faults.cold_multiplier(worker.worker_id, now)
         container = Container(spec, now,
                               threads=self.config.threads_per_container,
                               speculative=speculative)
@@ -407,7 +654,9 @@ class Orchestrator:
         if self._m_provisions is not None:
             self._m_provisions.labels(kind=kind).inc()
         self.policy.on_provision_started(container, now)
-        self.sim.schedule(cost, self._on_ready, container, waiter)
+        event = self.sim.schedule(cost, self._on_ready, container, waiter)
+        if self._faults is not None:
+            self._provision_events[container.container_id] = (event, waiter)
         return container
 
     def _begin_restore(self, container: Container, request: Request,
@@ -433,11 +682,17 @@ class Orchestrator:
         self._enqueue_waiter(waiter)
         self.metrics.restores += 1
         cost = self.policy.restore_cost_ms(container.spec)
-        self.sim.schedule(cost, self._on_ready, container, waiter)
+        if self._faults is not None:
+            cost = cost * self._faults.cold_multiplier(worker.worker_id, now)
+        event = self.sim.schedule(cost, self._on_ready, container, waiter)
+        if self._faults is not None:
+            self._provision_events[container.container_id] = (event, waiter)
         return True
 
     def _on_ready(self, container: Container,
                   waiter: Optional[_Waiter]) -> None:
+        if self._faults is not None:
+            self._provision_events.pop(container.container_id, None)
         if container.state is ContainerState.EVICTED:  # pragma: no cover
             return
         now = self.sim.now
@@ -518,11 +773,19 @@ class Orchestrator:
             self.policy.on_delayed_start(container, request, now)
         else:
             self.policy.on_cold_start(container, request, now)
-        self.sim.schedule(request.exec_ms, self._on_complete, container,
-                          request)
+        exec_ms = request.exec_ms
+        if self._faults is not None and container.worker is not None:
+            exec_ms = exec_ms * self._faults.exec_multiplier(
+                container.worker.worker_id, now)
+        event = self.sim.schedule(exec_ms, self._on_complete, container,
+                                  request)
+        if self._faults is not None:
+            self._exec_events[request.req_id] = event
 
     def _on_complete(self, container: Container, request: Request) -> None:
         now = self.sim.now
+        if self._faults is not None:
+            self._exec_events.pop(request.req_id, None)
         container.finish_request(request, now)
         request.end_ms = now
         self._log(EventKind.EXEC_END, request.func,
@@ -593,6 +856,9 @@ class Orchestrator:
         single_worker = len(self._workers) == 1
         pending = self._pending
         for i, pend in enumerate(pending):
+            if self._faults is not None and not pend.worker.online:
+                still_blocked.append(pend)
+                continue
             if pend.worker.worker_id in stuck_workers:
                 if single_worker:
                     still_blocked.extend(pending[i:])
@@ -633,12 +899,17 @@ class Orchestrator:
                                   req_id, detail, worker_id)
 
     def _dispatch(self, func: str) -> Worker:
-        if len(self._workers) == 1 or self.config.dispatch == "single":
-            return self._workers[0]
+        workers = self._workers
+        if self._faults is not None:
+            online = [w for w in workers if w.online]
+            if online:  # callers guard total outages; stay safe regardless
+                workers = online
+        if len(workers) == 1 or self.config.dispatch == "single":
+            return workers[0]
         if self.config.dispatch == "hash":
-            idx = zlib.crc32(func.encode()) % len(self._workers)
-            return self._workers[idx]
-        return min(self._workers, key=lambda w: w.used_mb)
+            idx = zlib.crc32(func.encode()) % len(workers)
+            return workers[idx]
+        return min(workers, key=lambda w: w.used_mb)
 
     def _sample_memory(self) -> None:
         if self._naive:
@@ -659,7 +930,9 @@ class Orchestrator:
             self._schedule_retry()
 
     def _finalize(self, requests: Sequence[Request]) -> None:
-        unfinished = [r for r in requests if not r.completed]
+        # Under fault injection, requests may end accounted-failed instead
+        # of completed; anything in neither state is a genuine deadlock.
+        unfinished = [r for r in requests if not r.completed and not r.failed]
         if unfinished:
             raise RuntimeError(
                 f"{len(unfinished)} requests never completed "

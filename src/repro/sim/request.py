@@ -50,6 +50,12 @@ class Request:
     end_ms: Optional[float] = field(default=None, compare=False)
     start_type: Optional[StartType] = field(default=None, compare=False)
     container_id: Optional[int] = field(default=None, compare=False)
+    #: Times this request was re-dispatched after a worker crash orphaned
+    #: its in-flight execution (fault injection only; always 0 otherwise).
+    retries: int = field(default=0, compare=False)
+    #: True when the request was dropped with its retry budget exhausted
+    #: (or no worker will ever come back online) — accounted, not lost.
+    failed: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.exec_ms < 0:

@@ -194,6 +194,9 @@ class RequestSpan:
     #: The serving container's provisioning window (cold starts).
     provision_start_ms: Optional[float] = None
     provision_ready_ms: Optional[float] = None
+    #: Times this request lost an in-flight execution to a worker crash
+    #: (fault injection; 0 in failure-free runs).
+    orphans: int = 0
 
     @property
     def completed(self) -> bool:
@@ -230,6 +233,9 @@ class SpanBuilder(EventSink):
         self.spans: List[RequestSpan] = []
         self.containers: Dict[int, ContainerTrack] = {}
         self._open: Dict[int, RequestSpan] = {}
+        #: Cluster incidents: (time_ms, kind value, worker_id) for worker
+        #: crash / restart events (fault injection).
+        self.incidents: List[tuple] = []
 
     # -- helpers -------------------------------------------------------
 
@@ -281,6 +287,13 @@ class SpanBuilder(EventSink):
                 self.spans.append(span)
         elif kind is EventKind.EVICTION:
             self._track(event).evicted_ms = event.time_ms
+        elif kind in (EventKind.WORKER_CRASH, EventKind.WORKER_RESTART):
+            self.incidents.append((event.time_ms, kind.value,
+                                   event.worker_id))
+        elif kind is EventKind.REQUEST_ORPHANED:
+            span = self._open.get(event.req_id)
+            if span is not None:
+                span.orphans += 1
 
     def finish(self) -> List[RequestSpan]:
         """All spans (completed plus any still open), by request id."""
@@ -354,6 +367,12 @@ def chrome_trace(source: Union[SpanBuilder, Iterable[Event]]) -> dict:
                            "cat": "lifecycle", "name": "evict",
                            "ts": _us(track.evicted_ms), "s": "t"})
 
+    # Fault incidents as process-scoped instants on the worker tracks.
+    for time_ms, kind, worker_id in builder.incidents:
+        events.append({"ph": "i", "pid": worker_pid(worker_id), "tid": 0,
+                       "cat": "fault", "name": kind,
+                       "ts": _us(time_ms), "s": "p"})
+
     # Exec slices on worker tracks + per-function async request spans.
     func_pids: Dict[str, int] = {}
     for span in builder.finish():
@@ -376,10 +395,13 @@ def chrome_trace(source: Union[SpanBuilder, Iterable[Event]]) -> dict:
         name = f"r{span.req_id} ({span.start_type})"
         common = {"pid": func_pid, "tid": 0, "cat": "request",
                   "id": span.req_id, "name": name}
+        begin_args = {"wait_ms": span.wait_ms,
+                      "exec_ms": span.exec_ms,
+                      "container": span.container_id}
+        if span.orphans:
+            begin_args["orphans"] = span.orphans
         events.append({**common, "ph": "b", "ts": _us(span.arrival_ms),
-                       "args": {"wait_ms": span.wait_ms,
-                                "exec_ms": span.exec_ms,
-                                "container": span.container_id}})
+                       "args": begin_args})
         events.append({**common, "ph": "e", "ts": _us(span.exec_end_ms)})
 
     meta: List[dict] = []

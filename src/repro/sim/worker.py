@@ -89,6 +89,11 @@ class Worker:
         self.capacity_mb = float(capacity_mb)
         self.naive = naive
         self._usage = usage
+        #: False while crashed (fault injection); offline workers host
+        #: nothing and receive no dispatches.
+        self.online = True
+        #: Worker-class name when a FaultPlan declares heterogeneity.
+        self.wclass: Optional[str] = None
         self._used_mb = 0.0
         self.containers: Dict[int, Container] = {}
         self._by_func: Dict[str, _FuncIndex] = {}
@@ -189,6 +194,39 @@ class Worker:
         """Adjust accounting after a container's footprint changed
         (compression / decompression)."""
         self._charge(container.memory_mb - old_mb)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+
+    def crash(self) -> List[Container]:
+        """Destroy every hosted container and drop offline.
+
+        Returns the victims in ascending container-id order, detached but
+        *not yet* state-flipped — the caller (orchestrator) runs
+        :meth:`Container.destroy` on each so it can collect the orphaned
+        in-flight requests and notify the policy. Reservations are
+        released too: a crashed machine keeps nothing warm.
+        """
+        victims = [self.containers[cid] for cid in sorted(self.containers)]
+        for container in victims:
+            container.worker = None     # detach: indexes die wholesale
+        self.containers.clear()
+        self._by_func.clear()
+        self._evictable.clear()
+        self._evictable_gen += 1
+        self._reservations.clear()
+        self._charge(-self._used_mb)
+        for state in ContainerState:
+            self._state_mb[state] = 0.0
+        self.online = False
+        return victims
+
+    def restart(self) -> None:
+        """Rejoin the cluster with an empty cache."""
+        if self.online:
+            raise RuntimeError(
+                f"worker {self.worker_id} restarted while online")
+        self.online = True
 
     # ------------------------------------------------------------------
     # Index maintenance

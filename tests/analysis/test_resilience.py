@@ -1,0 +1,140 @@
+"""repro.analysis.resilience over hand-built event streams and results."""
+
+import pytest
+
+from repro.analysis.resilience import (CrashWindow, cold_start_breakdown,
+                                       crash_windows, goodput_series,
+                                       orphan_retry_waits,
+                                       orphan_wait_cdf,
+                                       resilience_summary)
+from repro.sim.eventlog import Event, EventKind
+from repro.sim.faults import FaultPlan, WorkerClassSpec
+from repro.sim.metrics import SimulationResult
+from repro.sim.request import Request, StartType
+
+
+def ev(t, kind, func="f", cid=None, rid=None, wid=None):
+    return Event(t, kind, func, container_id=cid, req_id=rid,
+                 worker_id=wid)
+
+
+def completed(rid, arrival, start, end, retries=0):
+    return Request("f", arrival, end - start, req_id=rid,
+                   start_ms=start, end_ms=end,
+                   start_type=StartType.COLD, retries=retries)
+
+
+class TestCrashWindows:
+    def test_pairs_crash_with_restart(self):
+        events = [
+            ev(100.0, EventKind.WORKER_CRASH, wid=0),
+            ev(200.0, EventKind.WORKER_CRASH, wid=1),
+            ev(300.0, EventKind.WORKER_RESTART, wid=0),
+        ]
+        windows = crash_windows(events)
+        assert windows == [CrashWindow(0, 100.0, 300.0),
+                           CrashWindow(1, 200.0, None)]
+        assert windows[0].duration_ms == 200.0
+        assert windows[1].duration_ms is None
+
+    def test_repeated_crashes_of_one_worker(self):
+        events = [
+            ev(100.0, EventKind.WORKER_CRASH, wid=0),
+            ev(150.0, EventKind.WORKER_RESTART, wid=0),
+            ev(400.0, EventKind.WORKER_CRASH, wid=0),
+            ev(450.0, EventKind.WORKER_RESTART, wid=0),
+        ]
+        assert crash_windows(events) == [CrashWindow(0, 100.0, 150.0),
+                                         CrashWindow(0, 400.0, 450.0)]
+
+    def test_unmatched_restart_is_ignored(self):
+        assert crash_windows(
+            [ev(10.0, EventKind.WORKER_RESTART, wid=0)]) == []
+
+
+class TestGoodputSeries:
+    def test_zero_buckets_are_explicit(self):
+        events = [ev(100.0, EventKind.EXEC_END, rid=0),
+                  ev(150.0, EventKind.EXEC_END, rid=1),
+                  ev(2_500.0, EventKind.EXEC_END, rid=2)]
+        assert goodput_series(events, bucket_ms=1_000.0) == [
+            (0.0, 2), (1_000.0, 0), (2_000.0, 1)]
+
+    def test_other_kinds_dont_count(self):
+        events = [ev(100.0, EventKind.ARRIVAL, rid=0),
+                  ev(150.0, EventKind.EXEC_START, rid=0)]
+        assert goodput_series(events) == []
+
+    def test_bucket_must_be_positive(self):
+        with pytest.raises(ValueError):
+            goodput_series([], bucket_ms=0.0)
+
+
+class TestOrphanWaits:
+    def result(self):
+        return SimulationResult(
+            requests=[completed(0, 0.0, 10.0, 20.0),
+                      completed(1, 0.0, 500.0, 600.0, retries=1),
+                      completed(2, 0.0, 900.0, 950.0, retries=2)],
+            memory_samples=[])
+
+    def test_only_retried_requests_counted(self):
+        assert orphan_retry_waits(self.result()) == [500.0, 900.0]
+
+    def test_cdf_none_when_no_survivors(self):
+        clean = SimulationResult(
+            requests=[completed(0, 0.0, 10.0, 20.0)], memory_samples=[])
+        assert orphan_wait_cdf(clean) is None
+        cdf = orphan_wait_cdf(self.result())
+        assert len(cdf) == 2
+        assert cdf(900.0) == 1.0
+
+
+class TestColdStartBreakdown:
+    EVENTS = [
+        ev(0.0, EventKind.PROVISION_START, cid=1, wid=0),
+        ev(100.0, EventKind.CONTAINER_READY, cid=1, wid=0),
+        ev(0.0, EventKind.PROVISION_START, cid=2, wid=1),
+        ev(300.0, EventKind.CONTAINER_READY, cid=2, wid=1),
+        # Cancelled by a crash: no matching ready event.
+        ev(400.0, EventKind.PROVISION_START, cid=3, wid=1),
+    ]
+
+    def test_grouped_by_plan_class(self):
+        plan = FaultPlan(worker_classes=(
+            WorkerClassSpec(name="slow", workers=(1,),
+                            cold_start_multiplier=3.0),))
+        profiles = cold_start_breakdown(self.EVENTS, plan)
+        assert [(p.name, p.count, p.mean_ms) for p in profiles] \
+            == [("default", 1, 100.0), ("slow", 1, 300.0)]
+
+    def test_no_plan_is_all_default(self):
+        profiles = cold_start_breakdown(self.EVENTS, None)
+        assert [(p.name, p.count, p.mean_ms) for p in profiles] \
+            == [("default", 2, 200.0)]
+
+
+class TestSummary:
+    def test_flat_summary(self):
+        events = [
+            ev(100.0, EventKind.WORKER_CRASH, wid=0),
+            ev(300.0, EventKind.WORKER_RESTART, wid=0),
+            ev(150.0, EventKind.EXEC_END, rid=0),
+            ev(950.0, EventKind.EXEC_END, rid=1),
+        ]
+        result = SimulationResult(
+            requests=[completed(0, 0.0, 50.0, 150.0),
+                      completed(1, 0.0, 700.0, 950.0, retries=1)],
+            memory_samples=[],
+            orphaned_requests=2, reassigned_requests=1,
+            failed_requests=[Request("f", 0.0, 10.0, req_id=2,
+                                     failed=True)])
+        summary = resilience_summary(result, events)
+        assert summary["crashes"] == 1.0
+        assert summary["permanent_crashes"] == 0.0
+        assert summary["mean_outage_ms"] == 200.0
+        assert summary["completed"] == 2.0
+        assert summary["failed"] == 1.0
+        assert summary["survivors"] == 1.0
+        assert summary["mean_goodput_per_bucket"] == 2.0
+        assert summary["survivor_wait_p50_ms"] == 700.0

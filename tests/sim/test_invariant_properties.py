@@ -27,6 +27,7 @@ from repro.core.cidre import CIDREPolicy
 from repro.policies.faascache import FaasCachePolicy
 from repro.policies.ttl import TTLPolicy
 from repro.sim.config import SimulationConfig
+from repro.sim.faults import RetryPolicy, random_plan
 from repro.sim.orchestrator import Orchestrator
 from repro.sim.request import StartType
 from repro.traces.synth import ArrivalModel, synth_trace
@@ -134,3 +135,103 @@ def test_reference_impl_bit_identical(case_idx, policy_name):
             [(r.req_id, r.start_type, r.start_ms, r.end_ms, r.wait_ms)
              for r in result.requests])
     assert results[False] == results[True]
+
+
+# ======================================================================
+# Chaos properties: the same laws under random fault plans
+
+
+def sample_chaos_case(rng: random.Random):
+    """A random (trace, config) pair with a multi-worker cluster and a
+    seeded random fault plan (crashes, stragglers, heterogeneity)."""
+    trace, base = sample_case(rng)
+    workers = rng.randint(2, 3)
+    # Every spec must fit every worker's share (crashes mean any function
+    # can land anywhere), with headroom kept tight enough for pressure.
+    floor_gb = max(f.memory_mb for f in trace.functions) / 1024.0
+    capacity_gb = floor_gb * workers * rng.uniform(1.1, 1.6)
+    plan = random_plan(rng.randrange(2**31), workers=workers,
+                       horizon_ms=trace.duration_ms,
+                       retry=RetryPolicy(max_retries=rng.randint(0, 3)))
+    config = dataclasses.replace(base, capacity_gb=capacity_gb,
+                                 workers=workers, faults=plan)
+    return trace, config
+
+
+CHAOS_CASES = [sample_chaos_case(random.Random(2000 + i))
+               for i in range(N_SAMPLES)]
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_chaos_conservation_invariants(case_idx, policy_name):
+    """Crashes reshuffle work but never lose it: every arrival ends up
+    either completed or explicitly failed, exactly once."""
+    trace, config = CHAOS_CASES[case_idx]
+    policy = POLICIES[policy_name]()
+    orchestrator = Orchestrator(trace.functions, policy, config)
+    result = orchestrator.run(trace.fresh_requests())
+
+    # Arrivals partition into completions and accounted failures.
+    assert len(result.requests) + len(result.failed_requests) \
+        == trace.num_requests
+    assert all(r.completed and not r.failed for r in result.requests)
+    assert all(r.failed and not r.completed
+               for r in result.failed_requests)
+    finished = sorted(r.req_id for r in result.requests)
+    failed = sorted(r.req_id for r in result.failed_requests)
+    assert sorted(finished + failed) == list(range(trace.num_requests))
+
+    # Start types still partition the completions.
+    counted = sum(result.count(t) for t in
+                  (StartType.WARM, StartType.COLD, StartType.DELAYED))
+    assert counted == result.total
+
+    # Causality per completed request; retries stay within budget.
+    budget = config.faults.retry.max_retries
+    for r in result.requests:
+        assert r.arrival_ms <= r.start_ms <= r.end_ms
+        assert 0 <= r.retries <= budget
+
+    # Reassignment accounting: every orphan either re-entered or failed;
+    # rescued/rebound waiters may add reassignments beyond the orphans.
+    assert result.reassigned_requests + len(result.failed_requests) \
+        >= result.orphaned_requests
+
+    # Memory stays within the configured envelope throughout.
+    capacity_mb = config.capacity_mb
+    for sample in result.memory_samples:
+        assert sample.used_mb <= capacity_mb + 1e-6
+
+    # Crash teardown left the per-worker indexes self-consistent.
+    for worker in orchestrator.workers():
+        assert worker.check_integrity()
+    sim = orchestrator.sim
+    assert sim._scan_counts() == (sim._live, sim._real)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_chaos_reference_impl_bit_identical(case_idx, policy_name):
+    """Indexed and reference replays agree exactly under chaos too."""
+    trace, config = CHAOS_CASES[case_idx]
+    results = {}
+    for reference in (False, True):
+        cfg = dataclasses.replace(config, reference_impl=reference)
+        orchestrator = Orchestrator(trace.functions,
+                                    POLICIES[policy_name](), cfg)
+        result = orchestrator.run(trace.fresh_requests())
+        results[reference] = (
+            result.summary(),
+            [(r.req_id, r.start_type, r.start_ms, r.end_ms, r.retries)
+             for r in result.requests],
+            [(r.req_id, r.retries) for r in result.failed_requests])
+    assert results[False] == results[True]
+
+
+def test_chaos_cases_exercise_faults():
+    """The sampled chaos grid is not vacuous."""
+    crashes = sum(c.faults.crashes != () for _, c in CHAOS_CASES)
+    stragglers = sum(c.faults.stragglers != () for _, c in CHAOS_CASES)
+    assert crashes == N_SAMPLES
+    assert stragglers == N_SAMPLES
