@@ -122,8 +122,25 @@ if grep -Eq "worker_crashes +0\.000" "$tmpdir/chaos-plain.txt"; then
 fi
 echo "chaos replay deterministic under the sanitizer, crashes injected"
 
+echo "== fast-forward vs reference event-log cmp (bit-identity) =="
+# The packed-stream + idle-fast-forward replay must produce a
+# byte-identical JSONL event log to the classic reference replay.
+ff_common=(trace --preset azure --requests 1500 --seed 3
+           --policy CIDRE --capacity-gb 2)
+python -m repro.cli "${ff_common[@]}" --reference \
+    --events-out "$tmpdir/events-ref.jsonl" > /dev/null
+python -m repro.cli "${ff_common[@]}" --fast-forward \
+    --events-out "$tmpdir/events-ff.jsonl" > /dev/null
+cmp "$tmpdir/events-ref.jsonl" "$tmpdir/events-ff.jsonl"
+echo "fast-forward event log matches reference byte-for-byte"
+
 echo "== replay throughput smoke (ci-smoke vs committed baseline) =="
-# Gate on the committed trajectory point: fail if the smoke scenario's
-# events/sec drops below half of BENCH_throughput.json's recorded value.
+# Gate on the committed trajectory point, both replay modes. The band
+# is two-sided: a large unexplained speedup means the committed
+# baseline went stale and stopped guarding anything. The fast-forward
+# run is one-sided — ff is a wash on the dense smoke trace, so only a
+# slowdown there is a bug.
 python -m repro.cli bench-throughput --scenarios ci-smoke \
-    --check BENCH_throughput.json --factor 2
+    --check BENCH_throughput.json --factor 1.5
+python -m repro.cli bench-throughput --scenarios ci-smoke --fast-forward \
+    --check BENCH_throughput.json --factor 1.5 --one-sided

@@ -24,6 +24,7 @@ result cache::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -150,6 +151,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                               faults=_fault_plan(args, trace))
     metrics = _metrics_registry(args.metrics_out)
     sanitizer = _make_sanitizer(args)
+    if args.profile_out:
+        # A profile destination is an unambiguous request to profile.
+        args.profile = True
     if args.profile:
         import cProfile
         import pstats
@@ -201,6 +205,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     config = SimulationConfig(capacity_gb=args.capacity_gb,
                               workers=args.workers,
                               threads_per_container=args.threads,
+                              reference_impl=args.reference,
+                              fast_forward=args.fast_forward,
                               faults=_fault_plan(args, trace))
     sinks = []
     jsonl = spans = None
@@ -557,31 +563,63 @@ def cmd_bench_throughput(args: argparse.Namespace) -> int:
     def progress(record):
         rows.append(record.row())
         print(f"[bench] {record.scenario}/{record.policy} "
-              f"({'reference' if record.reference_impl else 'indexed'}): "
-              f"{record.wall_s:.2f}s, "
+              f"({record.impl}): {record.wall_s:.2f}s, "
               f"{record.events_per_sec:,.0f} events/s", file=sys.stderr)
 
-    payload = throughput.run_suite(names, reference=args.reference,
-                                   progress=progress)
+    payload = throughput.run_suite(
+        names, reference=args.reference,
+        fast_forward=True if args.fast_forward else None,
+        progress=progress)
     print(render_table(
         ["scenario", "policy", "impl", "wall_s", "events/s", "req/s",
          "cold", "evictions"],
         rows, title="replay throughput"))
+    # Load baselines before --out may overwrite the same file.
+    compare_baseline = (throughput.load_payload(args.compare)
+                        if args.compare else None)
+    check_baseline = (throughput.load_payload(args.check)
+                      if args.check else None)
     if args.out:
+        previous = None
+        if os.path.exists(args.out):
+            try:
+                previous = throughput.load_payload(args.out)
+            except (ValueError, OSError):
+                previous = None  # corrupt/old baseline: start history fresh
+        throughput.append_history(payload, previous)
         throughput.save_payload(payload, args.out)
-        print(f"wrote {args.out}")
-    if args.check:
-        baseline = throughput.load_payload(args.check)
-        failures = throughput.check_regression(payload, baseline,
-                                               factor=args.factor)
+        print(f"wrote {args.out} "
+              f"({len(payload.get('history', ()))} history entries)")
+    status = 0
+    if compare_baseline is not None:
+        baseline = compare_baseline
+        delta_rows = throughput.compare_payloads(payload, baseline)
+        print(render_table(
+            ["scenario", "policy", "baseline ev/s", "current ev/s",
+             "delta"],
+            delta_rows, title=f"throughput vs {args.compare}"))
+        failures = throughput.check_regression(
+            payload, baseline, factor=args.factor,
+            two_sided=not args.one_sided)
+        if failures:
+            print(f"throughput regression vs {args.compare}:",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            status = 1
+    if check_baseline is not None:
+        baseline = check_baseline
+        failures = throughput.check_regression(
+            payload, baseline, factor=args.factor,
+            two_sided=not args.one_sided)
         if failures:
             print(f"throughput regression vs {args.check} "
-                  f"(>{args.factor:g}x slower):", file=sys.stderr)
+                  f"(outside the {args.factor:g}x band):", file=sys.stderr)
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
             return 1
         print(f"throughput within {args.factor:g}x of {args.check}")
-    return 0
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -605,7 +643,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="profile the replay with cProfile and print the "
                           "top 25 cumulative entries to stderr")
     run.add_argument("--profile-out", default=None,
-                     help="with --profile: also dump pstats data here")
+                     help="dump pstats data here (implies --profile)")
     run.add_argument("--reference", action="store_true",
                      help="use the pre-index reference implementations "
                           "(scan/sort hot path; bit-identical results)")
@@ -648,6 +686,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="run under the sim-sanitizer (write barrier "
                          "around sink/recorder callbacks + periodic "
                          "consistency sweeps); results stay bit-identical")
+    tr.add_argument("--reference", action="store_true",
+                    help="use the pre-index reference implementations "
+                         "(scan/sort hot path; bit-identical results)")
+    tr.add_argument("--fast-forward", action="store_true",
+                    help="skip idle gaps analytically (bit-identical; "
+                         "auto-disabled under --reference or with "
+                         "--timeseries-out attached)")
     _add_fault_args(tr)
     tr.set_defaults(func=cmd_trace)
 
@@ -759,11 +804,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--out", default=None,
                        help="write the JSON payload here "
                             "(BENCH_throughput.json format)")
+    bench.add_argument("--fast-forward", action="store_true",
+                       help="force fast_forward=True on every scenario "
+                            "(indexed cells only; reference cells always "
+                            "run classic)")
+    bench.add_argument("--compare", default=None,
+                       help="print per-cell deltas vs this baseline JSON "
+                            "and exit non-zero on regression")
     bench.add_argument("--check", default=None,
-                       help="fail if events/sec regresses more than "
-                            "--factor vs this baseline JSON")
+                       help="fail if events/sec leaves the --factor band "
+                            "around this baseline JSON")
     bench.add_argument("--factor", type=float, default=2.0,
-                       help="allowed slowdown vs --check (default 2.0)")
+                       help="allowed throughput ratio vs the baseline "
+                            "(default 2.0)")
+    bench.add_argument("--one-sided", action="store_true",
+                       help="only fail on slowdowns; skip the "
+                            "faster-than-baseline (stale baseline) check")
     bench.set_defaults(func=cmd_bench_throughput)
 
     lint = sub.add_parser(

@@ -267,6 +267,8 @@ class CSSScalingMixin(OrchestrationPolicy):
         if self.ctx is None or not self.cover_backlog:
             return
         backlog = self.ctx.outstanding_waiters(func)
+        if backlog <= 0:
+            return  # in-flight count is irrelevant; skip its worker sum
         in_flight = self.ctx.provisions_in_flight(func)
         for _ in range(backlog - in_flight):
             if not self.ctx.speculate_for(func):
@@ -307,9 +309,14 @@ class CSSScalingMixin(OrchestrationPolicy):
         super().on_maintenance(now)
         assert self.ctx is not None
         for func in self.ctx.waiting_functions():
-            t_d = self.last_delay_ms(func, now)
-            t_p = self.estimated_cold_ms(func, now)
+            # The T_d/T_p statistics only gate the *disabled* branch, so
+            # they are computed lazily: when the gate is already open the
+            # window queries (and their pruning) are deferred to the next
+            # consumer, which observes the same surviving sample multiset
+            # either way — SlidingWindow caps and prunes oldest-first.
             if not self.bss_enabled(func):
+                t_d = self.last_delay_ms(func, now)
+                t_p = self.estimated_cold_ms(func, now)
                 if t_d is None or t_p is None or t_d <= t_p:
                     continue
                 self._set_bss(func, True, now, "T_d>T_p", "maintenance")
@@ -317,6 +324,13 @@ class CSSScalingMixin(OrchestrationPolicy):
             # provisions, one per queued request not already matched by an
             # in-flight provision.
             self._cover_backlog(func)
+
+    def maintenance_horizon(self, now: float) -> Optional[float]:
+        """Queue re-evaluation is a provable no-op while nothing is queued:
+        the maintenance loop iterates waiting functions only."""
+        if self.ctx is None or self.ctx.waiting_functions():
+            return None
+        return math.inf
 
     # ------------------------------------------------------------------
     # Statistic collection hooks

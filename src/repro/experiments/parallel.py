@@ -58,7 +58,10 @@ from repro.traces.schema import Trace
 #: average, so v1 summaries are no longer comparable.
 #: v3: ``summary()`` gained the fault-layer keys (worker_crashes,
 #: orphaned/reassigned/failed_requests); v2 payloads lack them.
-CACHE_VERSION = 3
+#: v4: ``SimulationConfig`` gained ``fast_forward`` (part of the cache
+#: key via ``asdict``), so v3 keys no longer resolve. Results are
+#: bit-identical across the flag either way.
+CACHE_VERSION = 4
 
 ProgressFn = Callable[[int, int, "CellTiming"], None]
 
@@ -161,8 +164,13 @@ def trace_digest(trace: Trace) -> str:
     """A content hash of the trace (functions + requests, not the name).
 
     Cached on the trace object: traces are value objects, so mutation
-    after digesting is a caller error, not a supported flow.
+    after digesting is a caller error, not a supported flow. Accepts a
+    :class:`repro.traces.packed.PackedTrace` too — the packed form
+    hashes the same byte stream, so compiling a trace never invalidates
+    sweep cache keys (pinned by ``tests/traces/test_packed.py``).
     """
+    if getattr(trace, "is_packed", False):
+        return trace.digest()
     cached = getattr(trace, "_content_digest", None)
     if cached is not None:
         return cached

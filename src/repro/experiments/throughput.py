@@ -45,7 +45,8 @@ speedup column — results are bit-identical by construction, and
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import subprocess
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -53,7 +54,14 @@ from repro.sim.config import SimulationConfig
 from repro.sim.orchestrator import Orchestrator
 from repro.traces.schema import Trace
 
-SCHEMA = "repro/bench-throughput/v1"
+#: v2: records gained ``fast_forward``; the payload gained a ``history``
+#: trajectory (one entry per saved run: commit + per-cell events/sec).
+#: v1 payloads still load — they simply lack both.
+SCHEMA = "repro/bench-throughput/v2"
+ACCEPTED_SCHEMAS = ("repro/bench-throughput/v1", SCHEMA)
+
+#: Cap on retained history entries in a saved payload.
+HISTORY_LIMIT = 50
 
 THIRTY_MINUTES_MS = 30 * 60 * 1000.0
 ONE_HOUR_MS = 60 * 60 * 1000.0
@@ -76,6 +84,10 @@ class BenchScenario:
     #: (worker crashes, stragglers, heterogeneity) — the crash-teardown
     #: and orphan-retry paths get a timed regime of their own.
     chaos_seed: Optional[int] = None
+    #: Replay with the analytic idle fast-forward enabled
+    #: (``SimulationConfig.fast_forward``); bit-identical outcomes, so
+    #: paired plain/ff scenarios time the mechanism itself.
+    fast_forward: bool = False
 
     def build_trace(self) -> Trace:
         if self.preset == "azure":
@@ -99,7 +111,9 @@ class BenchScenario:
         return SimulationConfig(capacity_gb=self.capacity_gb,
                                 workers=self.workers,
                                 reference_impl=reference_impl,
-                                faults=faults)
+                                faults=faults,
+                                fast_forward=(self.fast_forward
+                                              and not reference_impl))
 
 
 #: The standard suite, in run order.
@@ -125,6 +139,27 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         description="unpressured Azure preset (no-eviction regime guard)",
         seed=1, total_requests=20_000, capacity_gb=100.0,
         policies=("TTL", "FaasCache", "CIDRE")),
+    BenchScenario(
+        name="azure-preset-ff",
+        description="azure-preset with the idle fast-forward enabled "
+                    "(dense arrivals: measures the mechanism's overhead "
+                    "when there is little idle time to skip)",
+        seed=1, total_requests=20_000, capacity_gb=100.0,
+        policies=("TTL", "FaasCache", "CIDRE"), fast_forward=True),
+    BenchScenario(
+        name="sparse-8h",
+        description="azure arrivals stretched over 8 hours (idle-gap "
+                    "regime: periodic ticks dominate the event count)",
+        seed=1, total_requests=20_000,
+        duration_ms=8 * ONE_HOUR_MS, capacity_gb=100.0,
+        policies=("TTL", "CIDRE")),
+    BenchScenario(
+        name="sparse-8h-ff",
+        description="sparse-8h with the idle fast-forward enabled "
+                    "(the mechanism's target regime)",
+        seed=1, total_requests=20_000,
+        duration_ms=8 * ONE_HOUR_MS, capacity_gb=100.0,
+        policies=("TTL", "CIDRE"), fast_forward=True),
     BenchScenario(
         name="resilience",
         description="2-worker replay under a seeded chaos plan (crashes, "
@@ -157,13 +192,19 @@ class BenchRecord:
     requests_per_sec: float
     cold_ratio: float
     evictions: float
+    fast_forward: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
 
+    @property
+    def impl(self) -> str:
+        if self.reference_impl:
+            return "reference"
+        return "indexed+ff" if self.fast_forward else "indexed"
+
     def row(self) -> List[object]:
-        impl = "reference" if self.reference_impl else "indexed"
-        return [self.scenario, self.policy, impl,
+        return [self.scenario, self.policy, self.impl,
                 f"{self.wall_s:.2f}", f"{self.events_per_sec:,.0f}",
                 f"{self.requests_per_sec:,.0f}",
                 f"{self.cold_ratio:.3f}", f"{self.evictions:.0f}"]
@@ -171,14 +212,23 @@ class BenchRecord:
 
 def measure(trace: Trace, policy_name: str, config: SimulationConfig,
             scenario_name: str = "") -> BenchRecord:
-    """Time one single-run replay of ``policy_name`` over ``trace``."""
+    """Time one single-run replay of ``policy_name`` over ``trace``.
+
+    The indexed path replays from the packed (compiled) trace — the
+    compile itself is excluded from the timed region, like trace
+    generation. The reference path replays a fresh request list through
+    the classic schedule-everything-up-front loop, as it always did.
+    """
     from repro.experiments.suites import policy_factories
 
     policy = policy_factories()[policy_name](trace)
     orchestrator = Orchestrator(trace.functions, policy, config)
-    requests = trace.fresh_requests()
+    if config.reference_impl:
+        workload = trace.fresh_requests()
+    else:
+        workload = trace.packed()
     start = perf_counter()
-    result = orchestrator.run(requests)
+    result = orchestrator.run(workload)
     wall_s = perf_counter() - start
     events = orchestrator.sim.processed
     summary = result.summary()
@@ -190,7 +240,8 @@ def measure(trace: Trace, policy_name: str, config: SimulationConfig,
         requests=trace.num_requests,
         requests_per_sec=trace.num_requests / wall_s if wall_s > 0 else 0.0,
         cold_ratio=summary["cold_ratio"],
-        evictions=summary["evictions"])
+        evictions=summary["evictions"],
+        fast_forward=config.fast_forward)
 
 
 def run_scenario(scenario: BenchScenario,
@@ -225,10 +276,19 @@ def run_scenario(scenario: BenchScenario,
 
 def run_suite(names: Optional[Sequence[str]] = None,
               reference: bool = False,
+              fast_forward: Optional[bool] = None,
               progress=None) -> Dict[str, object]:
-    """Run the named scenarios (default: all) into a JSON-ready payload."""
+    """Run the named scenarios (default: all) into a JSON-ready payload.
+
+    ``fast_forward=True`` forces the idle fast-forward on for every
+    scenario (``False`` forces it off); ``None`` leaves each scenario's
+    own setting in place.
+    """
     scenarios = (SCENARIOS if names is None
                  else [scenario_by_name(n) for n in names])
+    if fast_forward is not None:
+        scenarios = [replace(s, fast_forward=fast_forward)
+                     for s in scenarios]
     payload: Dict[str, object] = {"schema": SCHEMA, "scenarios": {}}
     for scenario in scenarios:
         records = run_scenario(scenario, reference=reference)
@@ -240,6 +300,44 @@ def run_suite(names: Optional[Sequence[str]] = None,
         if progress is not None:
             for record in records:
                 progress(record)
+    return payload
+
+
+def current_commit() -> Optional[str]:
+    """Short git commit hash of the working tree, or ``None``."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def append_history(payload: Dict[str, object],
+                   previous: Optional[Dict[str, object]] = None,
+                   commit: Optional[str] = None) -> Dict[str, object]:
+    """Attach the per-run throughput trajectory to ``payload``.
+
+    Carries ``previous``'s history forward (capped at
+    ``HISTORY_LIMIT``) and appends one entry for this run: the commit
+    hash and every indexed cell's events/sec. Saved baselines therefore
+    record how replay throughput moved across commits, not just the
+    latest point.
+    """
+    history: List[Dict[str, object]] = []
+    if previous:
+        history = list(previous.get("history", ()))
+    entry = {
+        "commit": commit if commit is not None else current_commit(),
+        "events_per_sec": {
+            f"{scenario}/{policy}": round(rec["events_per_sec"], 1)
+            for (scenario, policy), rec
+            in sorted(_indexed_results(payload).items())},
+    }
+    history.append(entry)
+    payload["history"] = history[-HISTORY_LIMIT:]
     return payload
 
 
@@ -255,37 +353,76 @@ def _indexed_results(payload: Dict[str, object]
 
 def check_regression(current: Dict[str, object],
                      baseline: Dict[str, object],
-                     factor: float = 2.0) -> List[str]:
-    """Compare two payloads; report cells slower than baseline/factor.
+                     factor: float = 2.0,
+                     two_sided: bool = False) -> List[str]:
+    """Compare two payloads; report cells outside the allowed band.
+
+    A cell fails when its events/sec fall below ``baseline / factor``
+    — and, with ``two_sided=True``, also when they exceed
+    ``baseline * factor``: a large unexplained speedup means the
+    committed baseline is stale (or the cell's workload silently
+    shrank) and should be regenerated, otherwise it stops guarding
+    anything.
 
     Only (scenario, policy) cells present in *both* payloads are
     compared, so a smoke run of one scenario can be checked against the
     committed full-suite baseline. Returns a list of human-readable
     failure strings (empty = pass).
     """
-    if factor <= 0:
-        raise ValueError("factor must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
     failures: List[str] = []
     base = _indexed_results(baseline)
-    for key, record in _indexed_results(current).items():
+    for key, record in sorted(_indexed_results(current).items()):
         ref = base.get(key)
         if ref is None:
             continue
         floor = ref["events_per_sec"] / factor
-        if record["events_per_sec"] < floor:
+        ceiling = ref["events_per_sec"] * factor
+        eps = record["events_per_sec"]
+        if eps < floor:
             failures.append(
-                f"{key[0]}/{key[1]}: {record['events_per_sec']:,.0f} "
-                f"events/s < baseline {ref['events_per_sec']:,.0f} / "
-                f"{factor:g} = {floor:,.0f}")
+                f"{key[0]}/{key[1]}: {eps:,.0f} events/s < baseline "
+                f"{ref['events_per_sec']:,.0f} / {factor:g} = "
+                f"{floor:,.0f}")
+        elif two_sided and eps > ceiling:
+            failures.append(
+                f"{key[0]}/{key[1]}: {eps:,.0f} events/s > baseline "
+                f"{ref['events_per_sec']:,.0f} * {factor:g} = "
+                f"{ceiling:,.0f} — stale baseline? regenerate it")
     return failures
+
+
+def compare_payloads(current: Dict[str, object],
+                     baseline: Dict[str, object]) -> List[List[object]]:
+    """Per-cell delta table between two payloads (indexed cells only).
+
+    Rows are ``[scenario, policy, baseline events/s, current events/s,
+    delta %]`` sorted by cell; cells missing from the baseline show
+    ``-`` (new cell), cells missing from the current run are omitted.
+    """
+    rows: List[List[object]] = []
+    base = _indexed_results(baseline)
+    for key, record in sorted(_indexed_results(current).items()):
+        ref = base.get(key)
+        eps = record["events_per_sec"]
+        if ref is None:
+            rows.append([key[0], key[1], "-", f"{eps:,.0f}", "new"])
+            continue
+        ref_eps = ref["events_per_sec"]
+        delta = (eps - ref_eps) / ref_eps * 100.0 if ref_eps else 0.0
+        rows.append([key[0], key[1], f"{ref_eps:,.0f}", f"{eps:,.0f}",
+                     f"{delta:+.1f}%"])
+    return rows
 
 
 def load_payload(path: str) -> Dict[str, object]:
     with open(path) as fh:
         payload = json.load(fh)
-    if payload.get("schema") != SCHEMA:
-        raise ValueError(f"{path}: unexpected schema "
-                         f"{payload.get('schema')!r} (want {SCHEMA!r})")
+    if payload.get("schema") not in ACCEPTED_SCHEMAS:
+        raise ValueError(
+            f"{path}: unexpected schema {payload.get('schema')!r} "
+            f"(want one of {', '.join(map(repr, ACCEPTED_SCHEMAS))})")
     return payload
 
 

@@ -365,6 +365,21 @@ class OrchestrationPolicy:
     def on_maintenance(self, now: float) -> None:
         """Periodic housekeeping (TTL expiry, pre-warming, autoscaling)."""
 
+    def maintenance_horizon(self, now: float) -> Optional[float]:
+        """Earliest future time at which :meth:`on_maintenance` could have
+        any observable effect, or ``None`` when unknown.
+
+        Consulted by the idle fast-forward
+        (``SimulationConfig.fast_forward``): maintenance ticks strictly
+        before the horizon may be replayed as no-ops. The default
+        ``None`` disables skipping entirely — only policies that can
+        *prove* their maintenance inert over a gap override this.
+        ``math.inf`` means inert until further notice; the horizon is
+        re-queried at every skip opportunity, so it only needs to hold
+        while no other event fires.
+        """
+        return None
+
     # ------------------------------------------------------------------
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

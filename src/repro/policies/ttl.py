@@ -13,7 +13,9 @@ pays a full cold start.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import math
+
+from typing import TYPE_CHECKING, Optional
 
 from repro.policies.base import OrchestrationPolicy
 
@@ -47,3 +49,16 @@ class TTLPolicy(OrchestrationPolicy):
                        if now - c.last_used_ms >= self.ttl_ms]
             for container in expired:
                 self.ctx.evict(container)
+
+    def maintenance_horizon(self, now: float) -> Optional[float]:
+        """First possible expiry: the scan evicts nothing until the oldest
+        evictable container's lifespan runs out (an evictable container's
+        recency is frozen — using it leaves the evictable set)."""
+        if self.ctx is None:
+            return None
+        horizon = math.inf
+        for worker in self.ctx.workers():
+            oldest = worker.oldest_evictable_ms()
+            if oldest is not None and oldest + self.ttl_ms < horizon:
+                horizon = oldest + self.ttl_ms
+        return horizon

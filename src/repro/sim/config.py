@@ -55,6 +55,17 @@ class SimulationConfig:
         crashes/restarts, straggler windows and heterogeneous worker
         classes. ``None`` (the default) keeps the fault layer provably
         inert — the event stream is bit-identical to a faults-free build.
+    fast_forward:
+        Skip idle gaps analytically on the packed-trace replay path: when
+        nothing but periodic ticks (memory sampling, policy maintenance)
+        precedes the next arrival and the policy proves its maintenance
+        inert over the gap (:meth:`~repro.policies.base.
+        OrchestrationPolicy.maintenance_horizon`), the ticks are replayed
+        in closed form instead of through the event loop. Results are
+        bit-identical either way (pinned by the differential tests); the
+        flag only trades replay fidelity mechanisms for speed on sparse
+        traces. Ignored under ``reference_impl`` and whenever a
+        time-series recorder is attached.
     """
 
     capacity_gb: float = 100.0
@@ -65,6 +76,7 @@ class SimulationConfig:
     seed: Optional[int] = None
     reference_impl: bool = False
     faults: Optional[FaultPlan] = None
+    fast_forward: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity_gb <= 0:

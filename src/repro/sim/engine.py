@@ -19,6 +19,30 @@ periodic tick (memory sampling, policy maintenance) over a trace whose
 arrivals are all scheduled up front degrades to a quadratic scan. The
 counter-free scanning implementations are retained behind ``naive=True`` for
 differential testing.
+
+Arrival stream (the packed-trace fast path): instead of scheduling every
+trace arrival as its own heap event up front, :meth:`Simulator.bind_stream`
+attaches a sorted timestamp column replayed *outside* the heap. The run
+loop merges the stream against the heap top with two documented rules that
+make the merged order bit-identical to the classic all-events-up-front
+schedule:
+
+* a stream arrival fires **before** any heap event carrying the same
+  timestamp — in classic mode arrivals are scheduled first and therefore
+  hold the smallest sequence numbers, winning every same-time tie;
+* consecutive stream entries with an identical timestamp dispatch as
+  **one batch** (a single dispatch callback per distinct timestamp), in
+  row order — exactly the (time, seq) order the classic schedule yields.
+
+The heap then only ever holds the *dynamic* events (completions, readies,
+retries, crashes, periodic ticks) — typically a few hundred entries
+instead of one per trace row — so every push/pop is cheaper and the
+up-front O(n) scheduling pass disappears. Remaining stream rows count as
+real events for liveness, keeping periodic-tick self-termination
+identical. :meth:`Simulator.advance_periodic` additionally lets the
+orchestrator's idle fast-forward replay runs of periodic ticks
+analytically (see ``SimulationConfig.fast_forward``) while burning
+sequence numbers and heap order exactly as if each tick had fired.
 """
 
 from __future__ import annotations
@@ -37,7 +61,8 @@ class Event:
     O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "real",
+                 "_sim")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., Any], args: tuple):
@@ -46,6 +71,9 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Non-periodic ("real") — cached at creation so the pop path
+        #: avoids an isinstance check per event.
+        self.real = True
         self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
@@ -97,12 +125,25 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self.naive = naive
-        #: Non-cancelled events still queued.
+        #: Non-cancelled events still queued (heap only; the arrival
+        #: stream is accounted separately so heap-scan cross-checks stay
+        #: valid).
         self._live = 0
         #: Non-cancelled, non-periodic ("real") events still queued.
         self._real = 0
-        #: Events executed so far (throughput accounting).
+        #: Events executed so far (throughput accounting; stream
+        #: arrivals and analytically advanced periodic ticks count one
+        #: each, exactly as their classic heap-event counterparts).
         self.processed = 0
+        #: Optional arrival stream (see :meth:`bind_stream`).
+        self._stream_times = None
+        self._stream_dispatch = None
+        self._stream_pos = 0
+        self._stream_len = 0
+        #: Optional idle fast-forward hook, called with the next stream
+        #: arrival time when only periodic ticks precede it; returns the
+        #: number of ticks it advanced analytically (0 = run normally).
+        self.fast_forward_hook: Optional[Callable[[float], int]] = None
 
     @property
     def now(self) -> float:
@@ -126,7 +167,9 @@ class Simulator:
         event._sim = self
         heapq.heappush(self._heap, (time, event.seq, event))
         self._live += 1
-        if not isinstance(callback, _Periodic):
+        if isinstance(callback, _Periodic):
+            event.real = False
+        else:
             self._real += 1
         return event
 
@@ -147,29 +190,98 @@ class Simulator:
         handle.event = self.schedule(first_delay, handle)
         return handle
 
+    def bind_stream(self, times, dispatch: Callable[[int, int], Any],
+                    start: int = 0) -> None:
+        """Attach a sorted arrival stream replayed outside the heap.
+
+        ``times`` is an indexable column of non-decreasing timestamps
+        (typically a packed trace's ``arrival_ms`` array);
+        ``dispatch(lo, hi)`` is invoked with the clock already advanced
+        to ``times[lo]`` and must process rows ``[lo, hi)`` — a maximal
+        run of identical timestamps — in row order. Stream rows count as
+        real events for liveness and ``processed``. See the module
+        docstring for the merge rules that keep the replay bit-identical
+        to scheduling every arrival up front.
+        """
+        if self._running:
+            raise RuntimeError("cannot bind a stream while running")
+        n = len(times)
+        for i in range(max(start, 1), n):
+            if times[i] < times[i - 1]:
+                raise ValueError("stream timestamps must be non-decreasing")
+        if n > start and times[start] < self._now:
+            raise ValueError("stream starts in the past")
+        self._stream_times = times
+        self._stream_dispatch = dispatch
+        self._stream_pos = start
+        self._stream_len = n
+
+    def _stream_remaining(self) -> int:
+        return self._stream_len - self._stream_pos
+
     def pending(self) -> int:
-        """Number of (non-cancelled) events still queued. O(1)."""
+        """Number of (non-cancelled) events still queued. O(1).
+
+        Includes undispatched arrival-stream rows: each is one future
+        event, exactly as if it had been scheduled up front.
+        """
         if self.naive:
-            return sum(1 for _, _, e in self._heap if not e.cancelled)
-        return self._live
+            return (sum(1 for _, _, e in self._heap if not e.cancelled)
+                    + self._stream_remaining())
+        return self._live + self._stream_remaining()
 
     def _on_cancel(self, event: Event) -> None:
         """Counter bookkeeping for a freshly cancelled queued event."""
         self._live -= 1
-        if not isinstance(event.callback, _Periodic):
+        if event.real:
             self._real -= 1
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run events until the heap drains or virtual time passes ``until``.
+        """Run events until the queues drain or virtual time passes ``until``.
 
         Only "real" events count toward liveness: periodic events scheduled
         via :meth:`every` stop rescheduling once they are the only thing
         left, so ``run()`` terminates.
+
+        When an arrival stream is bound (:meth:`bind_stream`) the loop
+        merges it against the heap: a stream row wins every same-timestamp
+        tie, and equal-timestamp rows dispatch as one batch in row order
+        (see the module docstring for why this is bit-identical to the
+        classic all-events-up-front schedule).
         """
         self._running = True
+        heap = self._heap
         try:
-            while self._heap:
-                entry = heapq.heappop(self._heap)
+            while True:
+                si = self._stream_pos
+                if si < self._stream_len:
+                    times = self._stream_times
+                    t_arr = times[si]
+                    if not heap or t_arr <= heap[0][0]:
+                        # Stream arrival(s) fire next.
+                        if until is not None and t_arr > until:
+                            self._now = until
+                            return
+                        n = self._stream_len
+                        j = si + 1
+                        while j < n and times[j] == t_arr:
+                            j += 1
+                        self._stream_pos = j
+                        self._now = t_arr
+                        self.processed += j - si
+                        self._stream_dispatch(si, j)
+                        continue
+                    # Heap events strictly precede the next arrival. If
+                    # they are all periodic ticks, offer the gap to the
+                    # fast-forward hook; a zero return means the hook
+                    # declined and the ticks run normally below.
+                    if (self.fast_forward_hook is not None
+                            and until is None and self._real == 0
+                            and self.fast_forward_hook(t_arr)):
+                        continue
+                if not heap:
+                    break
+                entry = heapq.heappop(heap)
                 event = entry[2]
                 if event.cancelled:
                     # Counters were adjusted when cancel() ran.
@@ -177,13 +289,13 @@ class Simulator:
                 if until is not None and event.time > until:
                     # Put it back: the caller may resume later. The event
                     # stays queued, so the counters are untouched.
-                    heapq.heappush(self._heap, entry)
+                    heapq.heappush(heap, entry)
                     self._now = until
                     return
                 if event.time < self._now:  # pragma: no cover - invariant
                     raise RuntimeError("event time went backwards")
                 self._live -= 1
-                if not isinstance(event.callback, _Periodic):
+                if event.real:
                     self._real -= 1
                 # Detach so a late cancel() of an already-fired event (e.g.
                 # a periodic handle cancelled after its last tick) cannot
@@ -195,7 +307,61 @@ class Simulator:
         finally:
             self._running = False
 
+    def advance_periodic(self, boundary: float, replay: dict) -> int:
+        """Replay periodic ticks strictly before ``boundary`` analytically.
+
+        The caller (the orchestrator's idle fast-forward hook) guarantees
+        that every live heap event before ``boundary`` is a periodic tick
+        whose :class:`_PeriodicHandle` is a key of ``replay``. Each mapped
+        value is either ``None`` — the tick is provably a no-op over the
+        gap — or a cheap callable invoked in its place (it must not
+        schedule events). Per tick the clock, ``processed`` counter and
+        one sequence number are advanced exactly as if the tick had fired
+        through :meth:`run`, and the handle's next tick is rescheduled at
+        ``time + interval`` by reusing the popped entry — so heap contents
+        and every future (time, seq) tie-break stay bit-identical to the
+        classic run. A tick scheduled exactly at ``boundary`` is left to
+        fire normally. Encountering an event whose callback is not in
+        ``replay`` aborts the skip; the run loop then proceeds normally.
+
+        Returns the number of ticks advanced.
+        """
+        heap = self._heap
+        advanced = 0
+        while heap and heap[0][0] < boundary:
+            time0, _, event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            handle = event.callback
+            if handle not in replay:
+                break
+            heapq.heappop(heap)
+            self._now = time0
+            self.processed += 1
+            advanced += 1
+            if handle.stopped:
+                # Mirrors the classic pop of a stopped-but-uncancelled
+                # tick: it fires as a no-op and does not reschedule.
+                self._live -= 1
+                event._sim = None
+                continue
+            fn = replay[handle]
+            if fn is not None:
+                fn()
+            # Reschedule by reusing the popped entry: net counter change
+            # is zero (one pop, one push), matching the classic tick.
+            event.time = time0 + handle.interval
+            event.seq = next(self._seq)
+            heapq.heappush(heap, (event.time, event.seq, event))
+            handle.event = event
+        return advanced
+
     def _has_real_events(self) -> bool:
+        # Undispatched stream rows are future real events: periodic
+        # self-termination must not kick in while arrivals remain.
+        if self._stream_pos < self._stream_len:
+            return True
         if self.naive:
             return any(not e.cancelled
                        and not isinstance(e.callback, _Periodic)

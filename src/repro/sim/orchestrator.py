@@ -177,6 +177,12 @@ class Orchestrator:
         self._pending: List[_PendingProvision] = []
         self._pending_by_func: Dict[str, int] = {}
         self._retry_scheduled = False
+        #: Packed-trace replay state (set by :meth:`run`).
+        self._packed = None
+        self._materialized: List[Request] = []
+        #: Idle fast-forward state (set by :meth:`run` when enabled).
+        self._ff_replay: Dict = {}
+        self._ff_maintenance = None
         if audit is not None:
             policy.audit = audit
         if metrics is not None:
@@ -322,30 +328,112 @@ class Orchestrator:
     # ==================================================================
     # Public driver
 
-    def run(self, requests: Sequence[Request]) -> SimulationResult:
-        """Replay ``requests`` (sorted by arrival) and return the result."""
-        ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.req_id))
-        for i, req in enumerate(ordered):
-            if req.req_id < 0:
-                req.req_id = i
-            if req.func not in self.specs:
-                raise KeyError(f"request targets unknown function {req.func}")
-            self.sim.at(req.arrival_ms, self._on_arrival, req)
+    def run(self, requests) -> SimulationResult:
+        """Replay a workload and return the result.
+
+        ``requests`` is either a sequence of :class:`Request` objects or a
+        :class:`~repro.traces.packed.PackedTrace`. A packed trace streams
+        its arrivals straight off the flat columns (one heap event per
+        *dynamic* event only) and materializes request records lazily at
+        dispatch; under ``reference_impl`` it is materialized up front and
+        replayed through the classic all-events-scheduled path instead.
+        Both paths are bit-identical (pinned by the differential tests).
+        """
+        packed = requests if getattr(requests, "is_packed", False) else None
+        if packed is not None and not self._naive:
+            for name in packed.func_names:
+                if name not in self.specs:
+                    raise KeyError(
+                        f"request targets unknown function {name}")
+            self._packed = packed
+            # Filled in arrival order by _dispatch_batch; rows share
+            # req_id == row index, so this ends up identical to the
+            # classic path's ``ordered`` list.
+            ordered = self._materialized = []
+            self.sim.bind_stream(packed.arrival_ms, self._dispatch_batch)
+        else:
+            if packed is not None:
+                requests = packed.materialize_all()
+            ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.req_id))
+            for i, req in enumerate(ordered):
+                if req.req_id < 0:
+                    req.req_id = i
+                if req.func not in self.specs:
+                    raise KeyError(
+                        f"request targets unknown function {req.func}")
+                self.sim.at(req.arrival_ms, self._on_arrival, req)
         if self._faults is not None:
             for crash in self._faults.crashes_sorted():
                 self.sim.at(crash.at_ms, self._on_worker_crash, crash)
+        sampler = maintenance = None
         if self.config.memory_sample_interval_ms > 0:
-            self.sim.every(self.config.memory_sample_interval_ms,
-                           self._sample_memory, start_delay=0.0)
+            sampler = self.sim.every(self.config.memory_sample_interval_ms,
+                                     self._sample_memory, start_delay=0.0)
         if self.policy.maintenance_interval_ms:
-            self.sim.every(self.policy.maintenance_interval_ms,
-                           self._run_maintenance)
+            maintenance = self.sim.every(self.policy.maintenance_interval_ms,
+                                         self._run_maintenance)
         if self.recorder is not None:
             self.sim.every(self.recorder.interval_ms,
                            self.recorder.sample, self, start_delay=0.0)
+        if (self.config.fast_forward and not self._naive
+                and self.recorder is None):
+            # Replay table for analytically advanced idle-gap ticks: the
+            # sampler re-runs its (cheap, cache-served) callback so the
+            # time series stays sample-for-sample identical; maintenance
+            # ticks are proven no-ops by the policy's horizon and skip
+            # the policy call entirely. The recorder is never replayed —
+            # attaching one disables fast-forward outright.
+            self._ff_maintenance = maintenance
+            replay = {}
+            if sampler is not None:
+                replay[sampler] = self._sample_memory
+            if maintenance is not None:
+                replay[maintenance] = None
+            self._ff_replay = replay
+            self.sim.fast_forward_hook = self._fast_forward
         self.sim.run()
         self._finalize(ordered)
         return self.metrics.result()
+
+    def _dispatch_batch(self, lo: int, hi: int) -> None:
+        """Arrival-stream dispatch: materialize and admit rows [lo, hi).
+
+        Called by the engine with the clock already at the rows' shared
+        arrival time; per-row processing is exactly :meth:`_on_arrival`,
+        so the replay is step-for-step identical to the classic path.
+        """
+        packed = self._packed
+        materialized = self._materialized
+        on_arrival = self._on_arrival
+        for i in range(lo, hi):
+            request = packed.materialize(i)
+            materialized.append(request)
+            on_arrival(request)
+
+    def _fast_forward(self, next_arrival: float) -> int:
+        """Idle fast-forward hook (see ``SimulationConfig.fast_forward``).
+
+        The engine calls this only when undispatched stream rows remain,
+        no real (non-periodic) heap events exist, and at least one
+        periodic tick precedes ``next_arrival``. Skipping is sound only
+        when additionally (a) no blocked provision is waiting — each
+        maintenance tick would otherwise schedule a retry — and (b) the
+        policy proves its maintenance inert up to a horizon. Returns the
+        number of ticks advanced (0 = run the gap through the event
+        loop).
+        """
+        if self._pending:
+            return 0
+        boundary = next_arrival
+        if self._ff_maintenance is not None:
+            horizon = self.policy.maintenance_horizon(self.sim.now)
+            if horizon is None:
+                return 0
+            if horizon < boundary:
+                boundary = horizon
+        if boundary <= self.sim.now:
+            return 0
+        return self.sim.advance_periodic(boundary, self._ff_replay)
 
     # ==================================================================
     # Arrival path

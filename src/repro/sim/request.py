@@ -33,12 +33,15 @@ class StartType(enum.Enum):
     COLD = "cold"
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One function invocation.
 
     The first three fields come from the workload trace; the rest are
-    outcome fields populated by the simulator.
+    outcome fields populated by the simulator. The class is slotted:
+    request records are materialized per arrival on the packed-trace
+    replay path, so per-instance dict overhead would be paid once per
+    trace row per run.
     """
 
     func: str

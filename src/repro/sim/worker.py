@@ -109,6 +109,8 @@ class Worker:
         self._evictable_gen = 0
         self._evictable_mb_gen = -1
         self._evictable_mb_cache = 0.0
+        self._oldest_evictable_gen = -1
+        self._oldest_evictable_cache: Optional[float] = None
         #: Running memory total per container state.
         self._state_mb: Dict[ContainerState, float] = {
             state: 0.0 for state in ContainerState}
@@ -454,6 +456,26 @@ class Worker:
                 for cid in sorted(self._evictable))
             self._evictable_mb_gen = self._evictable_gen
         return self._evictable_mb_cache
+
+    def oldest_evictable_ms(self) -> Optional[float]:
+        """Smallest ``last_used_ms`` among evictable containers, or ``None``
+        when nothing is evictable.
+
+        O(1) between evictable-set changes: an evictable container's
+        recency can only move by leaving the set (idle -> busy refiles it
+        and bumps the generation), so the cached minimum stays exact
+        until the generation does.
+        """
+        if self.naive:
+            values = [c.last_used_ms for c in self.containers.values()
+                      if c.is_evictable]
+            return min(values) if values else None
+        if self._oldest_evictable_gen != self._evictable_gen:
+            self._oldest_evictable_cache = min(
+                (c.last_used_ms for c in self._evictable.values()),
+                default=None)
+            self._oldest_evictable_gen = self._evictable_gen
+        return self._oldest_evictable_cache
 
     def state_mb(self, state: ContainerState) -> float:
         """Running committed-memory total of containers in ``state``."""

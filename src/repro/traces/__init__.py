@@ -9,6 +9,7 @@ from repro.traces.azure_dataset import (AzureFunctionRow,
                                         azure_dataset_trace, build_trace,
                                         load_dataset)
 from repro.traces.io import load_trace, save_trace
+from repro.traces.packed import PackedTrace, pack_trace, packed_digest
 from repro.traces.schema import Trace
 from repro.traces.stats import (WorkloadStats, cold_to_exec_ratios,
                                 concurrency_per_minute, execution_time_cv,
@@ -23,7 +24,8 @@ from repro.traces.workflows import (WorkflowSpec, WorkflowStage,
                                     video_pipeline, workflow_trace)
 
 __all__ = [
-    "ArrivalModel", "AzureFunctionRow", "FunctionPopulation", "Trace",
+    "ArrivalModel", "AzureFunctionRow", "FunctionPopulation",
+    "PackedTrace", "Trace", "pack_trace", "packed_digest",
     "WorkflowSpec", "WorkflowStage", "WorkloadStats",
     "azure_dataset_trace",
     "azure_arrivals", "azure_population", "azure_trace", "build_trace",

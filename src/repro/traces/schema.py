@@ -63,6 +63,23 @@ class Trace:
 
     # ------------------------------------------------------------------
 
+    def packed(self):
+        """The trace compiled into flat parallel arrays, cached.
+
+        Returns a :class:`repro.traces.packed.PackedTrace`; the replay
+        hot path streams arrivals straight off its columns and
+        materializes request records lazily. Traces are value objects,
+        so the compiled form is computed once and reused (mutating a
+        trace after packing is a caller error, exactly as for the
+        content digest).
+        """
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            from repro.traces.packed import pack_trace
+            packed = pack_trace(self)
+            object.__setattr__(self, "_packed", packed)
+        return packed
+
     def fresh_requests(self) -> List[Request]:
         """A deep-enough copy of the request list for one simulation run.
 

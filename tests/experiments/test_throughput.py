@@ -103,3 +103,128 @@ def test_run_scenario_reference_asserts_identity(monkeypatch):
     assert [r.reference_impl for r in records] == [False, True]
     assert records[0].cold_ratio == records[1].cold_ratio
     assert records[0].evictions == records[1].evictions
+
+
+# ======================================================================
+# v2 additions: history trajectory, delta tables, two-sided check,
+# fast-forward scenarios
+
+
+class TestTwoSidedCheck:
+    def test_large_speedup_fails_two_sided(self):
+        current = payload_with([record("CIDRE", 5000.0)])
+        baseline = payload_with([record("CIDRE", 1000.0)])
+        failures = throughput.check_regression(current, baseline, 2.0,
+                                               two_sided=True)
+        assert len(failures) == 1
+        assert "stale baseline" in failures[0]
+
+    def test_large_speedup_passes_one_sided(self):
+        current = payload_with([record("CIDRE", 5000.0)])
+        baseline = payload_with([record("CIDRE", 1000.0)])
+        assert throughput.check_regression(current, baseline, 2.0) == []
+
+    def test_within_band_passes_two_sided(self):
+        current = payload_with([record("CIDRE", 1500.0)])
+        baseline = payload_with([record("CIDRE", 1000.0)])
+        assert throughput.check_regression(current, baseline, 2.0,
+                                           two_sided=True) == []
+
+
+class TestHistory:
+    def test_appends_entry_with_indexed_cells(self):
+        payload = payload_with([record("CIDRE", 1234.56),
+                                record("CIDRE", 999.0, reference=True)])
+        throughput.append_history(payload, commit="abc1234")
+        assert payload["history"] == [
+            {"commit": "abc1234",
+             "events_per_sec": {"s/CIDRE": 1234.6}}]
+
+    def test_carries_previous_history_forward(self):
+        previous = {"history": [{"commit": "old",
+                                 "events_per_sec": {"s/CIDRE": 1.0}}]}
+        payload = payload_with([record("CIDRE", 2.0)])
+        throughput.append_history(payload, previous, commit="new")
+        assert [e["commit"] for e in payload["history"]] == ["old", "new"]
+
+    def test_history_capped(self):
+        previous = {"history": [{"commit": f"c{i}", "events_per_sec": {}}
+                                for i in range(throughput.HISTORY_LIMIT)]}
+        payload = payload_with([record("CIDRE", 2.0)])
+        throughput.append_history(payload, previous, commit="tip")
+        history = payload["history"]
+        assert len(history) == throughput.HISTORY_LIMIT
+        assert history[-1]["commit"] == "tip"
+        assert history[0]["commit"] == "c1"  # oldest entry rotated out
+
+    def test_default_commit_from_git(self):
+        payload = payload_with([record("CIDRE", 2.0)])
+        throughput.append_history(payload)
+        commit = payload["history"][0]["commit"]
+        assert commit is None or isinstance(commit, str)
+
+
+class TestComparePayloads:
+    def test_delta_rows(self):
+        current = payload_with([record("CIDRE", 1200.0)])
+        baseline = payload_with([record("CIDRE", 1000.0)])
+        rows = throughput.compare_payloads(current, baseline)
+        assert rows == [["s", "CIDRE", "1,000", "1,200", "+20.0%"]]
+
+    def test_new_cell_marked(self):
+        current = payload_with([record("CIDRE", 1200.0)])
+        baseline = payload_with([record("TTL", 1000.0)])
+        rows = throughput.compare_payloads(current, baseline)
+        assert rows == [["s", "CIDRE", "-", "1,200", "new"]]
+
+    def test_reference_rows_ignored(self):
+        current = payload_with([record("CIDRE", 1.0, reference=True)])
+        assert throughput.compare_payloads(current, current) == []
+
+
+def test_load_payload_accepts_v1_schema(tmp_path):
+    path = str(tmp_path / "v1.json")
+    payload = {"schema": "repro/bench-throughput/v1", "scenarios": {}}
+    throughput.save_payload(payload, path)
+    assert throughput.load_payload(path) == payload
+
+
+class TestFastForwardScenarios:
+    def test_config_carries_fast_forward(self):
+        scenario = throughput.BenchScenario(
+            name="unit", description="unit", fast_forward=True)
+        assert scenario.config().fast_forward
+        # reference cells always replay the classic schedule.
+        assert not scenario.config(reference_impl=True).fast_forward
+
+    def test_impl_labels(self):
+        base = dict(scenario="s", policy="p", wall_s=1.0, events=1,
+                    events_per_sec=1.0, requests=1, requests_per_sec=1.0,
+                    cold_ratio=0.0, evictions=0.0)
+        assert throughput.BenchRecord(
+            reference_impl=False, **base).impl == "indexed"
+        assert throughput.BenchRecord(
+            reference_impl=False, fast_forward=True,
+            **base).impl == "indexed+ff"
+        assert throughput.BenchRecord(
+            reference_impl=True, fast_forward=True,
+            **base).impl == "reference"
+
+    def test_run_suite_fast_forward_override(self, monkeypatch):
+        trace = tiny_trace()
+        tiny = throughput.BenchScenario(
+            name="tiny", description="tiny", capacity_gb=1.0,
+            policies=("TTL",))
+        monkeypatch.setattr(throughput, "SCENARIOS", (tiny,))
+        monkeypatch.setattr(throughput.BenchScenario, "build_trace",
+                            lambda self: trace)
+        payload = throughput.run_suite(fast_forward=True)
+        (rec,) = payload["scenarios"]["tiny"]["results"]
+        assert rec["fast_forward"]
+        assert payload["schema"] == throughput.SCHEMA
+
+    def test_suite_pairs_plain_and_ff_sparse_scenarios(self):
+        by_name = {s.name: s for s in throughput.SCENARIOS}
+        assert not by_name["sparse-8h"].fast_forward
+        assert by_name["sparse-8h-ff"].fast_forward
+        assert by_name["azure-preset-ff"].fast_forward

@@ -229,6 +229,35 @@ def test_chaos_reference_impl_bit_identical(case_idx, policy_name):
     assert results[False] == results[True]
 
 
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_chaos_packed_replay_bit_identical(case_idx, policy_name):
+    """The packed arrival stream (and the idle fast-forward) survive
+    chaos: crashes defer batched arrivals, retries re-enter the heap —
+    outcomes must still match the classic request-list replay exactly."""
+    trace, config = CHAOS_CASES[case_idx]
+    outcomes = {}
+    for label, workload_packed, fast_forward in (
+            ("classic", False, False),
+            ("packed", True, False),
+            ("packed+ff", True, True)):
+        cfg = dataclasses.replace(config, fast_forward=fast_forward)
+        orchestrator = Orchestrator(trace.functions,
+                                    POLICIES[policy_name](), cfg)
+        workload = (trace.packed() if workload_packed
+                    else trace.fresh_requests())
+        result = orchestrator.run(workload)
+        outcomes[label] = (
+            result.summary(),
+            [(r.req_id, r.start_type, r.start_ms, r.end_ms, r.retries)
+             for r in result.requests],
+            [(r.req_id, r.retries) for r in result.failed_requests])
+        sim = orchestrator.sim
+        assert sim._scan_counts() == (sim._live, sim._real)
+    assert outcomes["packed"] == outcomes["classic"]
+    assert outcomes["packed+ff"] == outcomes["classic"]
+
+
 def test_chaos_cases_exercise_faults():
     """The sampled chaos grid is not vacuous."""
     crashes = sum(c.faults.crashes != () for _, c in CHAOS_CASES)

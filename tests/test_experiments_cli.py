@@ -445,3 +445,105 @@ class TestRunProfileCLI:
         assert main(base + ["--reference"]) == 0
         reference = capsys.readouterr().out
         assert indexed == reference
+
+
+class TestPackedReplayCLI:
+    @pytest.fixture
+    def tiny_suite(self, monkeypatch):
+        from repro.experiments import throughput
+        tiny = throughput.BenchScenario(
+            name="tiny", description="tiny smoke", seed=3,
+            total_requests=800, capacity_gb=2.0, policies=("TTL",))
+        monkeypatch.setattr(throughput, "SCENARIOS", (tiny,))
+        return tiny
+
+    def test_profile_out_implies_profile(self, tmp_path, capsys):
+        out = str(tmp_path / "run.pstats")
+        code = main(["run", "--preset", "azure", "--requests", "1500",
+                     "--seed", "3", "--policy", "TTL",
+                     "--capacity-gb", "2", "--profile-out", out])
+        assert code == 0
+        import os
+        assert os.path.getsize(out) > 0
+        assert "cumulative" in capsys.readouterr().err
+
+    def test_bench_fast_forward_flag(self, tiny_suite, capsys):
+        assert main(["bench-throughput", "--fast-forward"]) == 0
+        assert "indexed+ff" in capsys.readouterr().err
+
+    def test_bench_compare_prints_deltas(self, tiny_suite, tmp_path,
+                                         capsys):
+        out = str(tmp_path / "bench.json")
+        assert main(["bench-throughput", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["bench-throughput", "--compare", out]) == 0
+        printed = capsys.readouterr().out
+        assert "throughput vs" in printed
+        assert "tiny" in printed
+
+    def test_bench_compare_detects_regression(self, tiny_suite, tmp_path,
+                                              capsys):
+        from repro.experiments import throughput
+        baseline = {
+            "schema": throughput.SCHEMA,
+            "scenarios": {"tiny": {"results": [
+                {"policy": "TTL", "reference_impl": False,
+                 "events_per_sec": 1e12}]}}}
+        path = str(tmp_path / "baseline.json")
+        throughput.save_payload(baseline, path)
+        assert main(["bench-throughput", "--compare", path]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_bench_two_sided_check_flags_stale_baseline(
+            self, tiny_suite, tmp_path, capsys):
+        from repro.experiments import throughput
+        baseline = {
+            "schema": throughput.SCHEMA,
+            "scenarios": {"tiny": {"results": [
+                {"policy": "TTL", "reference_impl": False,
+                 "events_per_sec": 1e-6}]}}}
+        path = str(tmp_path / "baseline.json")
+        throughput.save_payload(baseline, path)
+        assert main(["bench-throughput", "--check", path]) == 1
+        assert "stale baseline" in capsys.readouterr().err
+        assert main(["bench-throughput", "--check", path,
+                     "--one-sided"]) == 0
+
+    def test_bench_out_accumulates_history(self, tiny_suite, tmp_path):
+        from repro.experiments import throughput
+        out = str(tmp_path / "bench.json")
+        assert main(["bench-throughput", "--out", out]) == 0
+        assert main(["bench-throughput", "--out", out]) == 0
+        payload = throughput.load_payload(out)
+        assert len(payload["history"]) == 2
+        assert "tiny/TTL" in payload["history"][0]["events_per_sec"]
+
+    def test_trace_fast_forward_event_log_matches_reference(
+            self, tmp_path, capsys):
+        ref = str(tmp_path / "ref.jsonl")
+        ff = str(tmp_path / "ff.jsonl")
+        base = ["trace", "--preset", "azure", "--requests", "1500",
+                "--seed", "3", "--policy", "CIDRE", "--capacity-gb", "2"]
+        assert main(base + ["--events-out", ref, "--reference"]) == 0
+        assert main(base + ["--events-out", ff, "--fast-forward"]) == 0
+        capsys.readouterr()
+
+        # Container ids are allocated from a process-global counter, so
+        # two in-process runs differ by a constant offset; rebase them.
+        # (CI compares the files byte-for-byte across two processes.)
+        def normalized(path):
+            import json
+            base_cid = None
+            out = []
+            with open(path) as fh:
+                for line in fh:
+                    event = json.loads(line)
+                    cid = event.get("cid")
+                    if cid is not None:
+                        if base_cid is None:
+                            base_cid = cid
+                        event["cid"] = cid - base_cid
+                    out.append(event)
+            return out
+
+        assert normalized(ref) == normalized(ff)
