@@ -134,6 +134,36 @@ python -m repro.cli "${ff_common[@]}" --fast-forward \
 cmp "$tmpdir/events-ref.jsonl" "$tmpdir/events-ff.jsonl"
 echo "fast-forward event log matches reference byte-for-byte"
 
+echo "== contention smoke (inert-model identity, deterministic replay) =="
+# An attached-but-inert contention model (alpha=0) must replay the exact
+# byte stream of a contention-free run: the progress-based completion
+# path may add no events and no float drift while every slowdown is 1.
+cont_common=(trace --preset azure --requests 1500 --seed 3
+             --policy CIDRE --capacity-gb 2)
+python -m repro.cli "${cont_common[@]}" \
+    --events-out "$tmpdir/events-plain.jsonl" > /dev/null
+python -m repro.cli "${cont_common[@]}" \
+    --contention-cores 4 --contention-alpha 0 \
+    --events-out "$tmpdir/events-inert.jsonl" > /dev/null
+cmp "$tmpdir/events-plain.jsonl" "$tmpdir/events-inert.jsonl"
+echo "inert contention model matches contention-off byte-for-byte"
+# A live model must itself be deterministic across the classic,
+# reference and fast-forward replays (rescheduled completions are real
+# heap events, so the analytic skip cannot jump a retiming).
+python -m repro.cli "${cont_common[@]}" --contention-cores 1 \
+    --events-out "$tmpdir/events-cont.jsonl" > /dev/null
+python -m repro.cli "${cont_common[@]}" --contention-cores 1 --reference \
+    --events-out "$tmpdir/events-cont-ref.jsonl" > /dev/null
+python -m repro.cli "${cont_common[@]}" --contention-cores 1 --fast-forward \
+    --events-out "$tmpdir/events-cont-ff.jsonl" > /dev/null
+cmp "$tmpdir/events-cont.jsonl" "$tmpdir/events-cont-ref.jsonl"
+cmp "$tmpdir/events-cont.jsonl" "$tmpdir/events-cont-ff.jsonl"
+grep -q 'slowdown=' "$tmpdir/events-cont.jsonl" || {
+    echo "FATAL: contention smoke slowed nothing (vacuous run)" >&2
+    exit 1
+}
+echo "contention replay deterministic across classic/reference/fast-forward"
+
 echo "== replay throughput smoke (ci-smoke vs committed baseline) =="
 # Gate on the committed trajectory point, both replay modes. The band
 # is two-sided: a large unexplained speedup means the committed

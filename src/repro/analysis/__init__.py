@@ -4,6 +4,11 @@ from repro.analysis.audit import (EvictionBalance, eviction_balance,
                                   expensive_decisions, gate_flip_rows,
                                   gate_flip_timeline, gate_flips)
 from repro.analysis.cdf import ECDF, crossover, fraction_below
+from repro.analysis.interference import (ConcurrencyPoint,
+                                         concurrency_curve,
+                                         exec_concurrency,
+                                         interference_summary,
+                                         request_slowdowns, slowdown_cdf)
 from repro.analysis.comparison import (Comparison, best_policy, compare,
                                        comparison_table)
 from repro.analysis.opportunity import (OpportunityResult,
@@ -25,9 +30,11 @@ from repro.analysis.whatif import (QueueAlwaysFaasCache, QueueLengthResult,
                                    tradeoff_analysis)
 
 __all__ = [
-    "ClassColdStarts", "CrashWindow", "cold_start_breakdown",
-    "crash_windows", "goodput_series", "orphan_retry_waits",
-    "orphan_wait_cdf", "resilience_summary",
+    "ClassColdStarts", "ConcurrencyPoint", "CrashWindow",
+    "cold_start_breakdown", "concurrency_curve", "crash_windows",
+    "exec_concurrency", "goodput_series", "interference_summary",
+    "orphan_retry_waits", "orphan_wait_cdf", "request_slowdowns",
+    "resilience_summary", "slowdown_cdf",
     "ECDF", "EvictionBalance", "OpportunityResult", "QueueAlwaysFaasCache",
     "eviction_balance", "expensive_decisions", "gate_flip_rows",
     "gate_flip_timeline", "gate_flips",

@@ -1,0 +1,143 @@
+"""Interference analytics for contention runs (:mod:`repro.sim.contention`).
+
+The paper's motivating observation is that co-located concurrency
+inflates execution time. This module reduces a run to the views that
+show (or refute) that interaction:
+
+* **per-request slowdowns** — realized wall time over trace ``exec_ms``
+  for every completed request;
+* **slowdown CDFs** — overall or per function, for latency-CDF figures;
+* **concurrency-vs-latency curves** — mean realized slowdown grouped by
+  the worker-local concurrency each execution started at, the curve a
+  contention model must make monotone (and a contention-free run keeps
+  flat at 1.0).
+
+Everything consumes a run's event stream (live
+:class:`~repro.sim.eventlog.Event` objects or records loaded back with
+:func:`~repro.sim.telemetry.read_events_jsonl`) plus the
+:class:`~repro.sim.metrics.SimulationResult`, mirroring
+:mod:`repro.analysis.resilience`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.cdf import ECDF
+from repro.sim.eventlog import Event, EventKind
+from repro.sim.request import Request
+
+__all__ = ["ConcurrencyPoint", "concurrency_curve", "exec_concurrency",
+           "interference_summary", "request_slowdowns", "slowdown_cdf"]
+
+
+def request_slowdowns(requests: Iterable[Request]) -> Dict[int, float]:
+    """``req_id -> realized slowdown`` (wall time over trace ``exec_ms``)
+    for every completed request with a positive service demand.
+
+    1.0 means the request ran at full speed; a contention model (or a
+    straggler window) pushes the ratio above 1."""
+    slowdowns: Dict[int, float] = {}
+    for request in requests:
+        if (request.exec_ms > 0 and request.start_ms is not None
+                and request.end_ms is not None):
+            slowdowns[request.req_id] = (
+                (request.end_ms - request.start_ms) / request.exec_ms)
+    return slowdowns
+
+
+def slowdown_cdf(requests: Iterable[Request],
+                 func: Optional[str] = None) -> Optional[ECDF]:
+    """ECDF of realized slowdowns, optionally restricted to one function.
+
+    Returns ``None`` when no completed request qualifies (ECDFs need at
+    least one sample)."""
+    samples = [
+        (request.end_ms - request.start_ms) / request.exec_ms
+        for request in requests
+        if (request.exec_ms > 0 and request.start_ms is not None
+            and request.end_ms is not None
+            and (func is None or request.func == func))]
+    if not samples:
+        return None
+    return ECDF(samples)
+
+
+def exec_concurrency(events: Iterable[Event]) -> Dict[int, int]:
+    """``req_id -> worker-local in-flight executions`` at the moment each
+    execution started (including itself; always >= 1).
+
+    Walks ``exec_start``/``exec_end`` keeping a per-worker busy count; a
+    ``worker_crash`` zeroes its worker (the in-flight executions it
+    destroyed emit no ``exec_end``)."""
+    busy: Dict[Optional[int], int] = {}
+    level: Dict[int, int] = {}
+    for event in events:
+        kind = event.kind
+        if kind is EventKind.EXEC_START:
+            count = busy.get(event.worker_id, 0) + 1
+            busy[event.worker_id] = count
+            level[event.req_id] = count
+        elif kind is EventKind.EXEC_END:
+            count = busy.get(event.worker_id, 0) - 1
+            busy[event.worker_id] = count if count > 0 else 0
+        elif kind is EventKind.WORKER_CRASH:
+            busy[event.worker_id] = 0
+    return level
+
+
+@dataclass(frozen=True)
+class ConcurrencyPoint:
+    """Mean realized slowdown at one start-time concurrency level."""
+
+    concurrency: int
+    mean_slowdown: float
+    requests: int
+
+
+def concurrency_curve(events: Iterable[Event],
+                      requests: Iterable[Request]
+                      ) -> List[ConcurrencyPoint]:
+    """The paper's motivating concurrency-vs-latency interaction: mean
+    realized slowdown grouped by the worker-local concurrency each
+    execution started at, sorted by concurrency.
+
+    Under a contention model the curve rises with concurrency; without
+    one it stays flat at 1.0. Requests whose start fell outside the
+    event stream (ring overflow) are skipped."""
+    levels = exec_concurrency(events)
+    slowdowns = request_slowdowns(requests)
+    totals: Dict[int, List[float]] = {}
+    for req_id, slowdown in slowdowns.items():
+        concurrency = levels.get(req_id)
+        if concurrency is None:
+            continue
+        totals.setdefault(concurrency, []).append(slowdown)
+    return [ConcurrencyPoint(concurrency, sum(values) / len(values),
+                             len(values))
+            for concurrency, values in sorted(totals.items())]
+
+
+def interference_summary(result, events: Iterable[Event]
+                         ) -> Dict[str, float]:
+    """Flat scalar summary of a contention run, for tables and JSON.
+
+    ``events`` is consumed once; pass any iterable."""
+    slowdowns = request_slowdowns(result.requests)
+    values: Sequence[float] = sorted(slowdowns.values())
+    summary: Dict[str, float] = {
+        "measured": float(len(values)),
+        "slowed": float(sum(1 for v in values if v > 1.0)),
+        "mean_slowdown": (sum(values) / len(values)) if values else 0.0,
+        "max_slowdown": values[-1] if values else 0.0,
+    }
+    if values:
+        cdf = ECDF(values)
+        summary["slowdown_p50"] = cdf.percentile(50)
+        summary["slowdown_p99"] = cdf.percentile(99)
+    curve = concurrency_curve(events, result.requests)
+    if curve:
+        summary["max_concurrency"] = float(curve[-1].concurrency)
+        summary["slowdown_at_max_concurrency"] = curve[-1].mean_slowdown
+    return summary

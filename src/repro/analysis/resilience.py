@@ -75,13 +75,22 @@ def crash_windows(events: Iterable[Event]) -> List[CrashWindow]:
 
 
 def goodput_series(events: Iterable[Event],
-                   bucket_ms: float = 1_000.0
+                   bucket_ms: float = 1_000.0,
+                   span_ms: Optional[Tuple[float, float]] = None
                    ) -> List[Tuple[float, int]]:
     """Completions per fixed time bucket: ``(bucket_start_ms, count)``.
 
     Buckets with zero completions between the first and last completion
     are included, so the series plots as a contiguous curve and crash
-    dips show up as explicit zeros rather than gaps."""
+    dips show up as explicit zeros rather than gaps.
+
+    ``span_ms`` is an optional ``(start_ms, end_ms)`` range to bucket
+    over instead of the completions' own extent. The series then covers
+    the full range — leading/trailing zero buckets included, with the
+    final (possibly partial) bucket present even when the range is not a
+    multiple of ``bucket_ms`` — and a run with no completions yields
+    all-zero buckets instead of ``[]``. Without it, a crash dip after
+    the last completion would be silently truncated away."""
     if bucket_ms <= 0:
         raise ValueError("bucket_ms must be > 0")
     counts: Dict[int, int] = {}
@@ -89,9 +98,20 @@ def goodput_series(events: Iterable[Event],
         if event.kind is EventKind.EXEC_END:
             counts[int(event.time_ms // bucket_ms)] = counts.get(
                 int(event.time_ms // bucket_ms), 0) + 1
-    if not counts:
+    if span_ms is not None:
+        start, end = span_ms
+        if end < start:
+            raise ValueError("span_ms end precedes its start")
+        lo = int(start // bucket_ms)
+        hi = int(end // bucket_ms)
+        # A span ending exactly on a bucket boundary owns no part of the
+        # next bucket (buckets are [start, start + bucket_ms)).
+        if hi > lo and end == hi * bucket_ms:
+            hi -= 1
+    elif not counts:
         return []
-    lo, hi = min(counts), max(counts)
+    else:
+        lo, hi = min(counts), max(counts)
     return [(bucket * bucket_ms, counts.get(bucket, 0))
             for bucket in range(lo, hi + 1)]
 
@@ -100,7 +120,7 @@ def orphan_retry_waits(result: SimulationResult) -> List[float]:
     """Invocation overhead (ms) of every completed request that was
     orphaned by a crash at least once, in arrival order."""
     return [request.wait_ms for request in result.requests
-            if request.retries > 0]
+            if request.retries > 0 and request.start_ms is not None]
 
 
 def orphan_wait_cdf(result: SimulationResult) -> Optional[ECDF]:
@@ -161,7 +181,9 @@ def cold_start_breakdown(events: Iterable[Event],
 def resilience_summary(result: SimulationResult,
                        events: Iterable[Event],
                        plan: Optional[FaultPlan] = None,
-                       bucket_ms: float = 1_000.0) -> Dict[str, float]:
+                       bucket_ms: float = 1_000.0,
+                       span_ms: Optional[Tuple[float, float]] = None
+                       ) -> Dict[str, float]:
     """Flat scalar summary of a chaos run, for tables and JSON.
 
     ``events`` is consumed several times, so pass a materialised
@@ -170,7 +192,7 @@ def resilience_summary(result: SimulationResult,
     events = list(events)
     windows = crash_windows(events)
     closed = [w.duration_ms for w in windows if w.restart_ms is not None]
-    series = goodput_series(events, bucket_ms)
+    series = goodput_series(events, bucket_ms, span_ms)
     waits = orphan_retry_waits(result)
     summary: Dict[str, float] = {
         "crashes": float(len(windows)),

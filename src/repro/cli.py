@@ -137,6 +137,39 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
                              "from this seed (--faults wins)")
 
 
+def _contention_model(args: argparse.Namespace):
+    """The :class:`repro.sim.contention.ContentionModel` requested on the
+    command line, or ``None``.
+
+    ``--contention model.json`` loads an explicit model and wins over
+    ``--contention-cores``/``--contention-alpha``, which build the
+    default power-law curve."""
+    if getattr(args, "contention", None):
+        from repro.sim.contention import ContentionModel
+        return ContentionModel.from_json(args.contention)
+    cores = getattr(args, "contention_cores", None)
+    if cores is not None:
+        from repro.sim.contention import ContentionModel
+        alpha = getattr(args, "contention_alpha", None)
+        return ContentionModel(
+            cores=cores, alpha=1.0 if alpha is None else alpha)
+    return None
+
+
+def _add_contention_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--contention", default=None,
+                        help="JSON CPU-contention model file; see "
+                             "repro.sim.contention")
+    parser.add_argument("--contention-cores", type=int, default=None,
+                        help="per-worker core budget for the default "
+                             "slowdown curve (enables contention; "
+                             "--contention wins)")
+    parser.add_argument("--contention-alpha", type=float, default=None,
+                        help="exponent of the slowdown curve "
+                             "max(1, busy/cores)**alpha (default 1.0; "
+                             "0 makes the model inert)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     trace = _build_trace(args)
     table = policy_factories()
@@ -148,7 +181,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                               workers=args.workers,
                               threads_per_container=args.threads,
                               reference_impl=args.reference,
-                              faults=_fault_plan(args, trace))
+                              faults=_fault_plan(args, trace),
+                              contention=_contention_model(args))
     metrics = _metrics_registry(args.metrics_out)
     sanitizer = _make_sanitizer(args)
     if args.profile_out:
@@ -207,7 +241,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
                               threads_per_container=args.threads,
                               reference_impl=args.reference,
                               fast_forward=args.fast_forward,
-                              faults=_fault_plan(args, trace))
+                              faults=_fault_plan(args, trace),
+                              contention=_contention_model(args))
     sinks = []
     jsonl = spans = None
     if args.events_out:
@@ -517,7 +552,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     results = runner.capacity_sweep(
         trace, names, capacities, seed=args.seed,
         workers=args.workers, threads_per_container=args.threads,
-        faults=_fault_plan(args, trace))
+        faults=_fault_plan(args, trace),
+        contention=_contention_model(args))
 
     rows = []
     for res in results:
@@ -655,6 +691,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "around probe callbacks + periodic consistency "
                           "sweeps); results stay bit-identical")
     _add_fault_args(run)
+    _add_contention_args(run)
     run.set_defaults(func=cmd_run)
 
     tr = sub.add_parser(
@@ -694,6 +731,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "auto-disabled under --reference or with "
                          "--timeseries-out attached)")
     _add_fault_args(tr)
+    _add_contention_args(tr)
     tr.set_defaults(func=cmd_trace)
 
     audit = sub.add_parser(
@@ -790,6 +828,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "done/total, per-cell wall time, ETA "
                             "(overrides --quiet)")
     _add_fault_args(sweep)
+    _add_contention_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(

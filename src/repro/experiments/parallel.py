@@ -61,7 +61,11 @@ from repro.traces.schema import Trace
 #: v4: ``SimulationConfig`` gained ``fast_forward`` (part of the cache
 #: key via ``asdict``), so v3 keys no longer resolve. Results are
 #: bit-identical across the flag either way.
-CACHE_VERSION = 4
+#: v5: ``SimulationConfig`` gained ``contention`` (the CPU-contention
+#: model), and straggler exec/cold multipliers now integrate across
+#: window edges instead of being sampled once at dispatch — cached
+#: fault-plan cells from v4 may carry the sampled-once timings.
+CACHE_VERSION = 5
 
 ProgressFn = Callable[[int, int, "CellTiming"], None]
 

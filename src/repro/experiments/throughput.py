@@ -24,6 +24,11 @@ Scenarios
     A 2-worker replay under a seeded chaos plan (``repro.sim.faults``):
     worker crashes with orphan reassignment, straggler slowdowns, and a
     heterogeneous worker class — times the fault layer's teardown paths.
+``contention``
+    A memory-pressured replay under a 4-core ``ContentionModel``
+    (``repro.sim.contention``) — times the progress-based completion
+    path: per-concurrency-transition retiming and the engine reschedules
+    it issues.
 
 Use
 ---
@@ -88,6 +93,11 @@ class BenchScenario:
     #: (``SimulationConfig.fast_forward``); bit-identical outcomes, so
     #: paired plain/ff scenarios time the mechanism itself.
     fast_forward: bool = False
+    #: When set, the cell replays under a ``ContentionModel`` with this
+    #: many cores per worker (default fair-share curve) — times the
+    #: progress-based completion path: per-transition retiming and the
+    #: reschedule machinery it leans on.
+    contention_cores: Optional[int] = None
 
     def build_trace(self) -> Trace:
         if self.preset == "azure":
@@ -108,10 +118,15 @@ class BenchScenario:
             horizon = self.duration_ms or THIRTY_MINUTES_MS
             faults = random_plan(self.chaos_seed, workers=self.workers,
                                  horizon_ms=horizon)
+        contention = None
+        if self.contention_cores is not None:
+            from repro.sim.contention import ContentionModel
+            contention = ContentionModel(cores=self.contention_cores)
         return SimulationConfig(capacity_gb=self.capacity_gb,
                                 workers=self.workers,
                                 reference_impl=reference_impl,
                                 faults=faults,
+                                contention=contention,
                                 fast_forward=(self.fast_forward
                                               and not reference_impl))
 
@@ -160,6 +175,13 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         seed=1, total_requests=20_000,
         duration_ms=8 * ONE_HOUR_MS, capacity_gb=100.0,
         policies=("TTL", "CIDRE"), fast_forward=True),
+    BenchScenario(
+        name="contention",
+        description="memory-pressured replay under a 4-core contention "
+                    "model: times the progress-based completion path "
+                    "(per-transition retiming, engine reschedules)",
+        seed=7, total_requests=20_000, capacity_gb=4.0,
+        policies=("TTL", "CIDRE"), contention_cores=4),
     BenchScenario(
         name="resilience",
         description="2-worker replay under a seeded chaos plan (crashes, "

@@ -2,6 +2,7 @@
 
 from repro.sim.config import SimulationConfig
 from repro.sim.container import Container, ContainerState
+from repro.sim.contention import ContentionModel
 from repro.sim.engine import Simulator
 from repro.sim.eventlog import Event, EventKind, EventLog
 from repro.sim.faults import (CrashSpec, FaultPlan, RetryPolicy,
@@ -18,7 +19,8 @@ from repro.sim.telemetry import (EventSink, JsonlSink, RequestSpan,
 from repro.sim.worker import Worker
 
 __all__ = [
-    "Container", "ContainerState", "CrashSpec", "Event", "EventKind",
+    "Container", "ContainerState", "ContentionModel", "CrashSpec",
+    "Event", "EventKind",
     "EventLog", "EventSink", "FaultPlan", "FunctionSpec", "JsonlSink",
     "LayerStack", "MetricsCollector", "Orchestrator", "Request",
     "RequestSpan", "RetryPolicy", "RingSink", "SimulationConfig",

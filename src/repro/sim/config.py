@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.sim.contention import ContentionModel
 from repro.sim.faults import FaultPlan
 
 MB_PER_GB = 1024.0
@@ -66,6 +67,14 @@ class SimulationConfig:
         flag only trades replay fidelity mechanisms for speed on sparse
         traces. Ignored under ``reference_impl`` and whenever a
         time-series recorder is attached.
+    contention:
+        Optional :class:`~repro.sim.contention.ContentionModel`: each
+        worker gets a CPU core budget and co-located in-flight
+        executions slow each other down, with completions tracked as
+        remaining work rescheduled on every concurrency transition
+        (progress-based execution). ``None`` (the default) keeps the
+        contention layer provably inert — the event stream is
+        bit-identical to a contention-free build.
     """
 
     capacity_gb: float = 100.0
@@ -77,6 +86,7 @@ class SimulationConfig:
     reference_impl: bool = False
     faults: Optional[FaultPlan] = None
     fast_forward: bool = False
+    contention: Optional[ContentionModel] = None
 
     def __post_init__(self) -> None:
         if self.capacity_gb <= 0:
@@ -91,6 +101,9 @@ class SimulationConfig:
             raise ValueError("seed must be an int or None")
         if self.faults is not None:
             self.faults.validate(self.workers)
+        if (self.contention is not None
+                and not isinstance(self.contention, ContentionModel)):
+            raise ValueError("contention must be a ContentionModel or None")
 
     @property
     def capacity_mb(self) -> float:

@@ -58,7 +58,9 @@ class Event:
     Events are created via :meth:`Simulator.schedule` / :meth:`Simulator.at`
     and may be cancelled before they fire. Cancelled events stay in the heap
     but are skipped when popped (lazy deletion), which keeps cancellation
-    O(1).
+    O(1). :meth:`Simulator.reschedule` moves a queued event the same way:
+    the old heap entry stays behind as a *stale* entry (its stored sequence
+    number no longer matches ``event.seq``) and is skipped on pop.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "real",
@@ -216,6 +218,30 @@ class Simulator:
         self._stream_pos = start
         self._stream_len = n
 
+    def reschedule(self, event: Event, time: float) -> None:
+        """Move a queued (uncancelled, unfired) event to absolute ``time``.
+
+        The rate-varying execution model (contention, straggler windows)
+        uses this to push a completion event around as its rate changes.
+        Heap entries are immutable ``(time, seq, Event)`` tuples, so the
+        event cannot be moved in place: a fresh entry is pushed with a
+        fresh sequence number — burning one seq, exactly like a
+        fired-and-rescheduled tick — and the old entry becomes *stale*
+        (its stored seq no longer equals ``event.seq``), to be skipped on
+        pop like a cancelled entry. The liveness counters are untouched:
+        logically the event was queued before and is queued after.
+        """
+        if event.cancelled:
+            raise ValueError("cannot reschedule a cancelled event")
+        if event._sim is not self:
+            raise ValueError("event is not queued on this simulator")
+        if time < self._now:
+            raise ValueError(
+                f"cannot reschedule at {time} before now={self._now}")
+        event.time = time
+        event.seq = next(self._seq)
+        heapq.heappush(self._heap, (time, event.seq, event))
+
     def _stream_remaining(self) -> int:
         return self._stream_len - self._stream_pos
 
@@ -226,7 +252,8 @@ class Simulator:
         event, exactly as if it had been scheduled up front.
         """
         if self.naive:
-            return (sum(1 for _, _, e in self._heap if not e.cancelled)
+            return (sum(1 for _, s, e in self._heap
+                        if not e.cancelled and s == e.seq)
                     + self._stream_remaining())
         return self._live + self._stream_remaining()
 
@@ -286,6 +313,10 @@ class Simulator:
                 if event.cancelled:
                     # Counters were adjusted when cancel() ran.
                     continue
+                if entry[1] != event.seq:
+                    # Stale entry left behind by reschedule(): the event
+                    # lives on under its newer (time, seq) entry.
+                    continue
                 if until is not None and event.time > until:
                     # Put it back: the caller may resume later. The event
                     # stays queued, so the counters are untouched.
@@ -329,8 +360,10 @@ class Simulator:
         heap = self._heap
         advanced = 0
         while heap and heap[0][0] < boundary:
-            time0, _, event = heap[0]
-            if event.cancelled:
+            time0, seq0, event = heap[0]
+            if event.cancelled or seq0 != event.seq:
+                # Cancelled or stale-after-reschedule: lazy-deleted here
+                # exactly as the run loop would.
                 heapq.heappop(heap)
                 continue
             handle = event.callback
@@ -363,16 +396,22 @@ class Simulator:
         if self._stream_pos < self._stream_len:
             return True
         if self.naive:
-            return any(not e.cancelled
+            return any(not e.cancelled and s == e.seq
                        and not isinstance(e.callback, _Periodic)
-                       for _, _, e in self._heap)
+                       for _, s, e in self._heap)
         return self._real > 0
 
     def _scan_counts(self) -> tuple:
-        """(live, real) recomputed by scanning — test/debug cross-check."""
-        live = sum(1 for _, _, e in self._heap if not e.cancelled)
-        real = sum(1 for _, _, e in self._heap
-                   if not e.cancelled
+        """(live, real) recomputed by scanning — test/debug cross-check.
+
+        Stale entries left behind by :meth:`reschedule` are excluded:
+        like cancelled entries they occupy heap slots but no longer
+        represent a queued event.
+        """
+        live = sum(1 for _, s, e in self._heap
+                   if not e.cancelled and s == e.seq)
+        real = sum(1 for _, s, e in self._heap
+                   if not e.cancelled and s == e.seq
                    and not isinstance(e.callback, _Periodic))
         return live, real
 

@@ -222,6 +222,60 @@ class FaultPlan:
                 factor *= straggler.cold_multiplier
         return factor
 
+    def has_exec_stragglers(self) -> bool:
+        """True when any straggler window changes execution rates — the
+        plan then needs the progress-based execution model so a window
+        edge mid-execution changes the remaining wall time."""
+        return any(s.exec_multiplier != 1.0 for s in self.stragglers)
+
+    def next_exec_boundary(self, worker_id: int,
+                           now: float) -> Optional[float]:
+        """Earliest straggler-window edge after ``now`` that can change
+        ``worker_id``'s execution-rate factor (windows whose
+        ``exec_multiplier`` is 1 never change the rate)."""
+        best = None
+        for s in self.stragglers:
+            if s.worker_id != worker_id or s.exec_multiplier == 1.0:
+                continue
+            for edge in (s.start_ms, s.end_ms):
+                if edge > now and (best is None or edge < best):
+                    best = edge
+        return best
+
+    def cold_finish_ms(self, worker_id: int, start_ms: float,
+                       cost_ms: float) -> float:
+        """Wall-clock completion time of ``cost_ms`` of provisioning
+        work starting at ``start_ms`` on ``worker_id``.
+
+        The cold-rate factor is piecewise constant (worker class times
+        the straggler windows covering each instant), so the finish time
+        integrates the work across every window edge instead of freezing
+        the factor sampled at ``start_ms`` — a window that ends (or
+        begins) mid-provision changes the remaining wall time. With no
+        edge inside the provision this reduces to the single
+        multiplication ``start_ms + cost_ms * factor`` of the
+        sampled-once model, bit-for-bit.
+        """
+        now = start_ms
+        remaining = cost_ms
+        while remaining > 0.0:
+            factor = self.cold_multiplier(worker_id, now)
+            edge = None
+            for s in self.stragglers:
+                if s.worker_id != worker_id or s.cold_multiplier == 1.0:
+                    continue
+                for candidate in (s.start_ms, s.end_ms):
+                    if candidate > now and (edge is None
+                                            or candidate < edge):
+                        edge = candidate
+            finish = now + remaining * factor
+            if edge is None or finish <= edge:
+                return finish
+            # Work done up to the edge, at this segment's rate.
+            remaining = remaining - (edge - now) / factor
+            now = edge
+        return now
+
     def crashes_sorted(self) -> List[CrashSpec]:
         return sorted(self.crashes, key=lambda c: (c.at_ms, c.worker_id))
 

@@ -85,6 +85,35 @@ class _PendingProvision:
     abandoned: bool = False
 
 
+class _ExecProgress:
+    """Progress ledger for one running execution (progress mode).
+
+    ``remaining_ms`` is the work left in trace-time units as of
+    ``settled_ms``; the completion event sits at ``settled_ms +
+    remaining_ms * slowdown`` and is rescheduled whenever the rate
+    changes. Settlement is deferred while the rate is constant — progress
+    accrues linearly, so settling only at rate changes is exact and
+    keeps single-rate executions free of float re-derivations.
+    """
+
+    __slots__ = ("request", "container", "event", "remaining_ms",
+                 "slowdown", "settled_ms", "slowed")
+
+    def __init__(self, request: Request, container: Container, event,
+                 remaining_ms: float, slowdown: float,
+                 settled_ms: float) -> None:
+        self.request = request
+        self.container = container
+        self.event = event
+        self.remaining_ms = remaining_ms
+        self.slowdown = slowdown
+        self.settled_ms = settled_ms
+        #: Whether any rate other than exactly 1.0 ever applied — gates
+        #: the EXEC_END slowdown annotation so inert models stay
+        #: byte-identical to contention-free runs.
+        self.slowed = slowdown != 1.0
+
+
 class Orchestrator:
     """Simulates a FaaS cluster under one orchestration policy.
 
@@ -131,6 +160,7 @@ class Orchestrator:
         self._m_wait = self._m_used = None
         self._m_crashes = self._m_orphaned = None
         self._m_reassigned = self._m_failed = None
+        self._m_slowdown = None
         if metrics is not None:
             self._instrument(metrics)
         self.specs: Dict[str, FunctionSpec] = {f.name: f for f in functions}
@@ -163,6 +193,25 @@ class Orchestrator:
                 raise ValueError(
                     f"{spec.name} needs {spec.memory_mb} MB but each worker "
                     f"has only {floor_mb} MB")
+        #: The CPU-contention model, or None. Gated exactly like
+        #: ``_faults``: contention-off runs take byte-identical code
+        #: paths to a build without the contention layer.
+        self._contention = self.config.contention
+        #: Progress-based completions are needed whenever execution
+        #: rates can change mid-flight: under a contention model, or
+        #: under straggler windows that scale execution time (whose
+        #: mid-window edges the sampled-once model silently ignored).
+        self._progress = (self._contention is not None
+                          or (self._faults is not None
+                              and self._faults.has_exec_stragglers()))
+        #: req_id -> live progress ledger (progress mode only).
+        self._execs: Dict[int, _ExecProgress] = {}
+        #: worker_id -> {req_id -> ledger} of co-located executions, in
+        #: start order (dict insertion order is the deterministic
+        #: iteration order for retiming).
+        self._worker_execs: Dict[int, Dict[int, _ExecProgress]] = {}
+        #: worker_id -> armed straggler-window boundary event.
+        self._rate_events: Dict[int, object] = {}
         #: req_id -> in-flight execution event (fault layer only; lets a
         #: crash cancel the completions of destroyed containers in O(1)).
         self._exec_events: Dict[int, object] = {}
@@ -226,6 +275,11 @@ class Orchestrator:
         self._m_failed = metrics.counter(
             "repro_requests_failed_total",
             "Requests dropped with the crash-retry budget exhausted")
+        self._m_slowdown = metrics.histogram(
+            "repro_contention_slowdown",
+            "Realized execution slowdown (wall time over trace exec_ms) "
+            "under the CPU-contention model",
+            buckets=(1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0))
 
     # ==================================================================
     # PolicyContext facade
@@ -595,6 +649,8 @@ class Orchestrator:
             else:
                 self._fail_request(request, "exec:exhausted",
                                    worker_id=worker.worker_id)
+        if self._progress:
+            self._drop_progress_worker(worker.worker_id)
         for waiter in rebind:
             self._rebind_waiter(waiter)
         # Blocked provisions aimed at the dead worker move to a live one;
@@ -721,8 +777,6 @@ class Orchestrator:
                          prewarm: bool) -> Container:
         now = self.sim.now
         cost = self.policy.provision_cost_ms(spec, worker, now)
-        if self._faults is not None:
-            cost = cost * self._faults.cold_multiplier(worker.worker_id, now)
         container = Container(spec, now,
                               threads=self.config.threads_per_container,
                               speculative=speculative)
@@ -742,9 +796,19 @@ class Orchestrator:
         if self._m_provisions is not None:
             self._m_provisions.labels(kind=kind).inc()
         self.policy.on_provision_started(container, now)
-        event = self.sim.schedule(cost, self._on_ready, container, waiter)
         if self._faults is not None:
+            # Integrate the cold rate across straggler-window edges
+            # instead of freezing the factor sampled at dispatch: a
+            # window that ends (or begins) mid-provision changes the
+            # remaining wall time. With no edge straddled this is the
+            # single sampled multiply, bit-for-bit.
+            event = self.sim.at(
+                self._faults.cold_finish_ms(worker.worker_id, now, cost),
+                self._on_ready, container, waiter)
             self._provision_events[container.container_id] = (event, waiter)
+        else:
+            event = self.sim.schedule(cost, self._on_ready, container,
+                                      waiter)
         return container
 
     def _begin_restore(self, container: Container, request: Request,
@@ -771,10 +835,14 @@ class Orchestrator:
         self.metrics.restores += 1
         cost = self.policy.restore_cost_ms(container.spec)
         if self._faults is not None:
-            cost = cost * self._faults.cold_multiplier(worker.worker_id, now)
-        event = self.sim.schedule(cost, self._on_ready, container, waiter)
-        if self._faults is not None:
+            # Same piecewise integration as _begin_provision.
+            event = self.sim.at(
+                self._faults.cold_finish_ms(worker.worker_id, now, cost),
+                self._on_ready, container, waiter)
             self._provision_events[container.container_id] = (event, waiter)
+        else:
+            event = self.sim.schedule(cost, self._on_ready, container,
+                                      waiter)
         return True
 
     def _on_ready(self, container: Container,
@@ -861,6 +929,9 @@ class Orchestrator:
             self.policy.on_delayed_start(container, request, now)
         else:
             self.policy.on_cold_start(container, request, now)
+        if self._progress and container.worker is not None:
+            self._begin_progress_exec(container, request)
+            return
         exec_ms = request.exec_ms
         if self._faults is not None and container.worker is not None:
             exec_ms = exec_ms * self._faults.exec_multiplier(
@@ -874,11 +945,21 @@ class Orchestrator:
         now = self.sim.now
         if self._faults is not None:
             self._exec_events.pop(request.req_id, None)
+        state = (self._finish_progress_exec(request, container)
+                 if self._progress else None)
         container.finish_request(request, now)
         request.end_ms = now
+        detail = ""
+        if self._contention is not None:
+            realized = ((now - request.start_ms) / request.exec_ms
+                        if request.exec_ms > 0 else 1.0)
+            if self._m_slowdown is not None:
+                self._m_slowdown.observe(realized)
+            if state is not None and state.slowed:
+                detail = f"slowdown={realized!r}"
         self._log(EventKind.EXEC_END, request.func,
                   container_id=container.container_id,
-                  req_id=request.req_id,
+                  req_id=request.req_id, detail=detail,
                   worker_id=container.worker.worker_id
                   if container.worker else None)
         self.metrics.record_request(request)
@@ -895,6 +976,116 @@ class Orchestrator:
         # Memory may now be reclaimable: retry blocked provisions.
         if self._pending:
             self._schedule_retry()
+
+    # ==================================================================
+    # Progress-based execution (contention / rate-varying stragglers)
+
+    def _slowdown(self, worker_id: int, func: str, busy: int,
+                  now: float) -> float:
+        """Execution-rate factor for one execution of ``func`` sharing
+        its worker with ``busy`` total in-flight executions at ``now``."""
+        if self._contention is not None:
+            factor = self._contention.slowdown(busy, func)
+        else:
+            factor = 1.0
+        if self._faults is not None:
+            factor = factor * self._faults.exec_multiplier(worker_id, now)
+        return factor
+
+    def _begin_progress_exec(self, container: Container,
+                             request: Request) -> None:
+        now = self.sim.now
+        worker_id = container.worker.worker_id
+        table = self._worker_execs.setdefault(worker_id, {})
+        busy = len(table) + 1
+        # Settle the neighbours first: their rates change the instant
+        # this execution joins the worker.
+        self._retime_worker(worker_id, busy, now)
+        slowdown = self._slowdown(worker_id, request.func, busy, now)
+        event = self.sim.schedule(request.exec_ms * slowdown,
+                                  self._on_complete, container, request)
+        state = _ExecProgress(request, container, event,
+                              request.exec_ms, slowdown, now)
+        table[request.req_id] = state
+        self._execs[request.req_id] = state
+        if self._faults is not None:
+            self._exec_events[request.req_id] = event
+            self._arm_rate_boundary(worker_id)
+
+    def _retime_worker(self, worker_id: int, busy: int,
+                       now: float) -> None:
+        """Settle progress and reschedule the completion of every running
+        execution on ``worker_id`` under its new concurrency ``busy``."""
+        table = self._worker_execs.get(worker_id)
+        if not table:
+            return
+        for state in table.values():
+            slowdown = self._slowdown(worker_id, state.request.func,
+                                      busy, now)
+            if slowdown == state.slowdown:
+                continue  # rate unchanged: settlement can stay deferred
+            elapsed = now - state.settled_ms
+            if elapsed > 0.0:
+                remaining = state.remaining_ms - elapsed / state.slowdown
+                state.remaining_ms = remaining if remaining > 0.0 else 0.0
+            state.settled_ms = now
+            state.slowdown = slowdown
+            if slowdown != 1.0:
+                state.slowed = True
+            self.sim.reschedule(state.event,
+                                now + state.remaining_ms * slowdown)
+
+    def _finish_progress_exec(self, request: Request,
+                              container: Container) -> Optional[_ExecProgress]:
+        """Retire a completed execution's ledger and retime its
+        (now less-contended) neighbours."""
+        state = self._execs.pop(request.req_id, None)
+        if state is None:  # pragma: no cover - defensive
+            return None
+        worker = container.worker
+        if worker is not None:
+            table = self._worker_execs.get(worker.worker_id)
+            if table is not None:
+                table.pop(request.req_id, None)
+                self._retime_worker(worker.worker_id, len(table),
+                                    self.sim.now)
+                if not table:
+                    self._disarm_rate_boundary(worker.worker_id)
+        return state
+
+    def _arm_rate_boundary(self, worker_id: int) -> None:
+        """Wake up at the next straggler-window edge that changes
+        ``worker_id``'s execution rate (fault layer only). Armed only
+        while executions are running there — an edge over an idle worker
+        affects nothing until the next start samples the rate fresh."""
+        if worker_id in self._rate_events:
+            return
+        edge = self._faults.next_exec_boundary(worker_id, self.sim.now)
+        if edge is None:
+            return
+        self._rate_events[worker_id] = self.sim.at(
+            edge, self._on_rate_boundary, worker_id)
+
+    def _on_rate_boundary(self, worker_id: int) -> None:
+        self._rate_events.pop(worker_id, None)
+        table = self._worker_execs.get(worker_id)
+        if table:
+            self._retime_worker(worker_id, len(table), self.sim.now)
+            self._arm_rate_boundary(worker_id)
+
+    def _disarm_rate_boundary(self, worker_id: int) -> None:
+        event = self._rate_events.pop(worker_id, None)
+        if event is not None:
+            event.cancel()
+
+    def _drop_progress_worker(self, worker_id: int) -> None:
+        """Forget progress state for a crashed worker (the completion
+        events themselves are cancelled through ``_exec_events``)."""
+        table = self._worker_execs.pop(worker_id, None)
+        if table:
+            for req_id in table:
+                self._execs.pop(req_id, None)
+        self._disarm_rate_boundary(worker_id)
 
     # ==================================================================
     # Waiter queues

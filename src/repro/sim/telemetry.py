@@ -197,6 +197,10 @@ class RequestSpan:
     #: Times this request lost an in-flight execution to a worker crash
     #: (fault injection; 0 in failure-free runs).
     orphans: int = 0
+    #: Realized execution slowdown (wall time / trace exec_ms) under the
+    #: CPU-contention model; None when the run had no contention or the
+    #: execution never ran slowed.
+    slowdown: Optional[float] = None
 
     @property
     def completed(self) -> bool:
@@ -284,6 +288,8 @@ class SpanBuilder(EventSink):
             span = self._open.pop(event.req_id, None)
             if span is not None:
                 span.exec_end_ms = event.time_ms
+                if event.detail.startswith("slowdown="):
+                    span.slowdown = float(event.detail[9:])
                 self.spans.append(span)
         elif kind is EventKind.EVICTION:
             self._track(event).evicted_ms = event.time_ms

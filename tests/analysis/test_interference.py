@@ -1,0 +1,138 @@
+"""repro.analysis.interference over hand-built streams and live runs.
+
+The acceptance property for the contention model lives here: on a
+synthetic pressure trace the concurrency-vs-latency curve must be
+monotone nondecreasing under contention, and flat at 1.0 without it.
+"""
+
+import pytest
+
+from repro.analysis.interference import (concurrency_curve,
+                                         exec_concurrency,
+                                         interference_summary,
+                                         request_slowdowns, slowdown_cdf)
+from repro.policies.lru import LRUPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.contention import ContentionModel
+from repro.sim.eventlog import Event, EventKind, EventLog
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request, StartType
+
+F0 = FunctionSpec("f0", memory_mb=100.0, cold_start_ms=500.0)
+
+
+def ev(t, kind, func="f", cid=None, rid=None, wid=0):
+    return Event(t, kind, func, container_id=cid, req_id=rid,
+                 worker_id=wid)
+
+
+def completed(rid, start, end, exec_ms, func="f"):
+    return Request(func, 0.0, exec_ms, req_id=rid, start_ms=start,
+                   end_ms=end, start_type=StartType.COLD)
+
+
+def run_pressure(model, *, widths=(1, 2, 3, 4), exec_ms=700.0):
+    """A single-worker pressure trace of isolated waves: wave ``w``
+    fires ``w`` simultaneous requests, spaced so waves never overlap.
+    Each wave pins the worker at exactly its width for its whole life,
+    so realized slowdowns are analytic."""
+    requests = [Request("f0", 10_000.0 * wave, exec_ms)
+                for wave, width in enumerate(widths)
+                for _ in range(width)]
+    log = EventLog()
+    cfg = SimulationConfig(capacity_gb=2.0,
+                           threads_per_container=max(widths),
+                           dispatch="single", contention=model)
+    orch = Orchestrator([F0], LRUPolicy(), cfg, event_log=log)
+    result = orch.run(requests)
+    return result, log
+
+
+class TestRequestSlowdowns:
+    def test_ratio_of_wall_time_to_demand(self):
+        result = [completed(0, 100.0, 300.0, 100.0),
+                  completed(1, 0.0, 50.0, 50.0)]
+        assert request_slowdowns(result) == {0: 2.0, 1: 1.0}
+
+    def test_incomplete_or_zero_demand_skipped(self):
+        unstarted = Request("f", 0.0, 100.0, req_id=2)
+        instant = completed(3, 0.0, 0.0, 0.0)
+        assert request_slowdowns([unstarted, instant]) == {}
+
+
+class TestSlowdownCdf:
+    def test_none_without_samples(self):
+        assert slowdown_cdf([]) is None
+        assert slowdown_cdf([completed(0, 0.0, 100.0, 100.0)],
+                            func="other") is None
+
+    def test_per_function_filter(self):
+        requests = [completed(0, 0.0, 200.0, 100.0, func="a"),
+                    completed(1, 0.0, 100.0, 100.0, func="b")]
+        cdf = slowdown_cdf(requests, func="a")
+        assert len(cdf) == 1
+        assert cdf(2.0) == 1.0
+        assert slowdown_cdf(requests)(1.0) == 0.5
+
+
+class TestExecConcurrency:
+    def test_counts_worker_local_overlap(self):
+        events = [
+            ev(0.0, EventKind.EXEC_START, rid=0, wid=0),
+            ev(10.0, EventKind.EXEC_START, rid=1, wid=0),
+            ev(10.0, EventKind.EXEC_START, rid=2, wid=1),
+            ev(20.0, EventKind.EXEC_END, rid=0, wid=0),
+            ev(30.0, EventKind.EXEC_START, rid=3, wid=0),
+        ]
+        assert exec_concurrency(events) == {0: 1, 1: 2, 2: 1, 3: 2}
+
+    def test_crash_zeroes_the_worker(self):
+        events = [
+            ev(0.0, EventKind.EXEC_START, rid=0, wid=0),
+            ev(5.0, EventKind.WORKER_CRASH, wid=0),
+            ev(10.0, EventKind.EXEC_START, rid=1, wid=0),
+        ]
+        assert exec_concurrency(events) == {0: 1, 1: 1}
+
+
+class TestConcurrencyCurve:
+    def test_monotone_under_contention(self):
+        """Acceptance: on a synthetic pressure trace the mean-slowdown
+        curve rises (weakly) with start-time concurrency, spans several
+        levels, and actually leaves 1.0."""
+        result, log = run_pressure(ContentionModel(cores=1, alpha=1.0))
+        curve = concurrency_curve(log, result.requests)
+        assert len(curve) >= 2
+        assert [p.concurrency for p in curve] \
+            == sorted(p.concurrency for p in curve)
+        for lower, higher in zip(curve, curve[1:]):
+            assert higher.mean_slowdown >= lower.mean_slowdown - 1e-9
+        assert curve[-1].mean_slowdown > curve[0].mean_slowdown
+        assert curve[-1].mean_slowdown > 1.0
+        assert sum(p.requests for p in curve) == result.total
+
+    def test_flat_without_contention(self):
+        result, log = run_pressure(None)
+        curve = concurrency_curve(log, result.requests)
+        assert curve
+        assert all(p.mean_slowdown == pytest.approx(1.0) for p in curve)
+
+
+class TestSummary:
+    def test_scalar_summary_of_contended_run(self):
+        result, log = run_pressure(ContentionModel(cores=1, alpha=1.0))
+        summary = interference_summary(result, log)
+        assert summary["measured"] == float(result.total)
+        assert summary["slowed"] > 0.0
+        assert summary["max_slowdown"] >= summary["mean_slowdown"] > 1.0
+        assert summary["slowdown_p99"] >= summary["slowdown_p50"]
+        assert summary["max_concurrency"] >= 2.0
+        assert summary["slowdown_at_max_concurrency"] > 1.0
+
+    def test_empty_result_yields_zeroes(self):
+        class _Empty:
+            requests = []
+        summary = interference_summary(_Empty(), [])
+        assert summary == {"measured": 0.0, "slowed": 0.0,
+                           "mean_slowdown": 0.0, "max_slowdown": 0.0}

@@ -69,6 +69,50 @@ class TestGoodputSeries:
         with pytest.raises(ValueError):
             goodput_series([], bucket_ms=0.0)
 
+    def test_span_pads_leading_and_trailing_zeros(self):
+        events = [ev(1_500.0, EventKind.EXEC_END, rid=0)]
+        assert goodput_series(events, bucket_ms=1_000.0,
+                              span_ms=(0.0, 3_500.0)) == [
+            (0.0, 0), (1_000.0, 1), (2_000.0, 0), (3_000.0, 0)]
+
+    def test_span_with_no_completions_is_all_zero_buckets(self):
+        """An outage covering the whole span must plot as zeros, not as
+        an empty series."""
+        assert goodput_series([], bucket_ms=1_000.0,
+                              span_ms=(0.0, 2_500.0)) == [
+            (0.0, 0), (1_000.0, 0), (2_000.0, 0)]
+
+    def test_span_final_partial_bucket_is_kept(self):
+        events = [ev(2_400.0, EventKind.EXEC_END, rid=0)]
+        series = goodput_series(events, bucket_ms=1_000.0,
+                                span_ms=(0.0, 2_500.0))
+        assert series[-1] == (2_000.0, 1)
+        assert len(series) == 3
+
+    def test_span_on_exact_boundary_owns_no_next_bucket(self):
+        """A span ending exactly at a bucket edge must not emit a bucket
+        for the half-open interval beyond it."""
+        assert goodput_series([], bucket_ms=1_000.0,
+                              span_ms=(0.0, 3_000.0)) == [
+            (0.0, 0), (1_000.0, 0), (2_000.0, 0)]
+
+    def test_degenerate_span_is_one_bucket(self):
+        assert goodput_series([], bucket_ms=1_000.0,
+                              span_ms=(500.0, 500.0)) == [(0.0, 0)]
+
+    def test_span_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            goodput_series([], span_ms=(1_000.0, 0.0))
+
+    def test_span_truncates_nothing_outside(self):
+        """Completions outside the span still land in their own buckets;
+        the span only fixes the plotted range's endpoints."""
+        events = [ev(500.0, EventKind.EXEC_END, rid=0),
+                  ev(4_500.0, EventKind.EXEC_END, rid=1)]
+        series = goodput_series(events, bucket_ms=1_000.0,
+                                span_ms=(0.0, 2_000.0))
+        assert series == [(0.0, 1), (1_000.0, 0)]
+
 
 class TestOrphanWaits:
     def result(self):
@@ -88,6 +132,21 @@ class TestOrphanWaits:
         cdf = orphan_wait_cdf(self.result())
         assert len(cdf) == 2
         assert cdf(900.0) == 1.0
+
+    def test_cdf_none_on_empty_result(self):
+        empty = SimulationResult(requests=[], memory_samples=[])
+        assert orphan_retry_waits(empty) == []
+        assert orphan_wait_cdf(empty) is None
+
+    def test_unstarted_retried_request_is_skipped(self):
+        """A retried request with no recorded start (mid-flight snapshot)
+        must not crash the wait computation."""
+        unstarted = Request("f", 0.0, 10.0, req_id=7, retries=1)
+        result = SimulationResult(
+            requests=[unstarted, completed(1, 0.0, 500.0, 600.0,
+                                           retries=1)],
+            memory_samples=[])
+        assert orphan_retry_waits(result) == [500.0]
 
 
 class TestColdStartBreakdown:
@@ -138,3 +197,22 @@ class TestSummary:
         assert summary["survivors"] == 1.0
         assert summary["mean_goodput_per_bucket"] == 2.0
         assert summary["survivor_wait_p50_ms"] == 700.0
+
+    def test_summary_span_counts_trailing_outage(self):
+        """With an explicit span the post-crash silence drags the mean
+        down and pins min goodput at zero — the extent-only series would
+        have hidden both."""
+        events = [ev(150.0, EventKind.EXEC_END, rid=0),
+                  ev(950.0, EventKind.EXEC_END, rid=1),
+                  ev(1_000.0, EventKind.WORKER_CRASH, wid=0)]
+        result = SimulationResult(
+            requests=[completed(0, 0.0, 50.0, 150.0),
+                      completed(1, 0.0, 700.0, 950.0)],
+            memory_samples=[])
+        plain = resilience_summary(result, events)
+        spanned = resilience_summary(result, events,
+                                     span_ms=(0.0, 4_000.0))
+        assert plain["mean_goodput_per_bucket"] == 2.0
+        assert plain["min_goodput_per_bucket"] == 2.0
+        assert spanned["mean_goodput_per_bucket"] == 0.5
+        assert spanned["min_goodput_per_bucket"] == 0.0

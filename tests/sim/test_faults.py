@@ -476,3 +476,74 @@ class TestAccountingUnderChaos:
         result, _, _ = run_chaos(plan, [request])
         failed = result.failed_requests[0]
         assert failed == dataclasses.replace(request)
+
+
+class TestStragglerWindowStraddling:
+    """Window edges that fall *inside* an execution or provision must
+    change the remaining wall time (the multipliers used to be sampled
+    once at dispatch, silently ignoring mid-flight edges)."""
+
+    def test_exec_window_ends_mid_execution(self):
+        """Exec of 800 ms work starts at 500 inside a 2x window that
+        ends at 1000: 250 ms of work done slowed, 550 ms at full speed —
+        done at 1550, not the sampled-once 500 + 1600 = 2100."""
+        plan = FaultPlan(stragglers=(
+            StragglerSpec(worker_id=0, start_ms=0.0, end_ms=1_000.0,
+                          exec_multiplier=2.0),))
+        result, _, _ = run_chaos(plan, [Request("f0", 0.0, 800.0)],
+                                 workers=1)
+        req = result.requests[0]
+        assert req.start_ms == 500.0
+        assert req.end_ms == 1_550.0
+
+    def test_exec_window_starts_mid_execution(self):
+        """A 3x window opening at 1000 catches an execution halfway:
+        500 ms done at full speed, the remaining 500 ms stretch to 1500."""
+        plan = FaultPlan(stragglers=(
+            StragglerSpec(worker_id=0, start_ms=1_000.0, end_ms=5_000.0,
+                          exec_multiplier=3.0),))
+        result, _, _ = run_chaos(plan, [Request("f0", 0.0, 1_000.0)],
+                                 workers=1)
+        req = result.requests[0]
+        assert req.start_ms == 500.0
+        assert req.end_ms == 2_500.0  # not the sampled-once 1500
+
+    def test_exec_window_opens_and_closes_mid_execution(self):
+        """A [600, 800) 2x window entirely inside the execution adds
+        exactly its slowed span: 100 ms of work takes 200 ms."""
+        plan = FaultPlan(stragglers=(
+            StragglerSpec(worker_id=0, start_ms=600.0, end_ms=800.0,
+                          exec_multiplier=2.0),))
+        result, _, _ = run_chaos(plan, [Request("f0", 0.0, 1_000.0)],
+                                 workers=1)
+        req = result.requests[0]
+        assert req.end_ms == 1_600.0  # not the sampled-once 1500
+
+    def test_cold_window_ends_mid_provision(self):
+        """Provisioning 500 ms of work from t=0 under a 2x cold window
+        that ends at 250: 125 ms of work done slowed, 375 at full speed
+        — ready at 625, not the sampled-once 1000."""
+        plan = FaultPlan(stragglers=(
+            StragglerSpec(worker_id=0, start_ms=0.0, end_ms=250.0,
+                          cold_multiplier=2.0),))
+        result, log, _ = run_chaos(plan, [Request("f0", 0.0, 100.0)],
+                                   workers=1)
+        ready = kinds(log, EventKind.CONTAINER_READY)
+        assert [e.time_ms for e in ready] == [625.0]
+        req = result.requests[0]
+        assert req.start_ms == 625.0
+        assert req.end_ms == 725.0
+
+    def test_non_straddled_windows_are_bit_identical(self):
+        """An execution and a provision entirely inside (or outside)
+        their windows keep the single sampled multiply, bit-for-bit."""
+        plan = FaultPlan(stragglers=(
+            StragglerSpec(worker_id=0, start_ms=0.0, end_ms=10_000.0,
+                          exec_multiplier=1.5, cold_multiplier=3.0),))
+        result, log, _ = run_chaos(plan, [Request("f0", 0.0, 100.0)],
+                                   workers=1)
+        ready = kinds(log, EventKind.CONTAINER_READY)
+        assert [e.time_ms for e in ready] == [500.0 * 3.0]
+        req = result.requests[0]
+        assert req.start_ms == 1_500.0
+        assert req.end_ms == 1_500.0 + 100.0 * 1.5

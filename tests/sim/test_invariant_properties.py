@@ -27,6 +27,7 @@ from repro.core.cidre import CIDREPolicy
 from repro.policies.faascache import FaasCachePolicy
 from repro.policies.ttl import TTLPolicy
 from repro.sim.config import SimulationConfig
+from repro.sim.contention import ContentionModel
 from repro.sim.faults import RetryPolicy, random_plan
 from repro.sim.orchestrator import Orchestrator
 from repro.sim.request import StartType
@@ -264,3 +265,132 @@ def test_chaos_cases_exercise_faults():
     stragglers = sum(c.faults.stragglers != () for _, c in CHAOS_CASES)
     assert crashes == N_SAMPLES
     assert stragglers == N_SAMPLES
+
+
+# ======================================================================
+# Contention properties: the same laws under progress-based completions
+
+
+def sample_contention_case(rng: random.Random):
+    """A random (trace, config) pair with a CPU-contention model tight
+    enough (few cores, few workers, multi-threaded containers) that
+    executions overlap and the progress machinery actually retimes."""
+    trace, base = sample_case(rng)
+    workers = rng.randint(1, 2)
+    floor_gb = max(f.memory_mb for f in trace.functions) / 1024.0
+    capacity_gb = max(base.capacity_gb, floor_gb * workers * 1.1)
+    # Few cores so the sampled bursts actually exceed the budget.
+    model = ContentionModel(cores=rng.randint(1, 2),
+                            alpha=rng.uniform(0.5, 2.0))
+    config = dataclasses.replace(base, capacity_gb=capacity_gb,
+                                 workers=workers,
+                                 threads_per_container=rng.randint(1, 3),
+                                 contention=model)
+    return trace, config
+
+
+CONTENTION_CASES = [sample_contention_case(random.Random(3000 + i))
+                    for i in range(N_SAMPLES)]
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_contention_conservation_invariants(case_idx, policy_name):
+    """Progress-based completions slow requests down but never lose,
+    duplicate or time-travel them."""
+    trace, config = CONTENTION_CASES[case_idx]
+    policy = POLICIES[policy_name]()
+    orchestrator = Orchestrator(trace.functions, policy, config)
+    result = orchestrator.run(trace.fresh_requests())
+
+    assert result.total == trace.num_requests
+    assert all(r.completed for r in result.requests)
+    assert sorted(r.req_id for r in result.requests) \
+        == list(range(trace.num_requests))
+
+    counted = sum(result.count(t) for t in
+                  (StartType.WARM, StartType.COLD, StartType.DELAYED))
+    assert counted == result.total
+
+    # Causality, and contention only ever stretches executions: realized
+    # wall time is never shorter than the trace's service demand.
+    for r in result.requests:
+        assert r.arrival_ms <= r.start_ms <= r.end_ms
+        assert r.end_ms - r.start_ms >= r.exec_ms - 1e-9
+
+    capacity_mb = config.capacity_mb
+    for sample in result.memory_samples:
+        assert sample.used_mb <= capacity_mb + 1e-6
+
+    # Progress ledgers and rate-boundary events fully retired, worker
+    # indexes self-consistent, liveness counters exact despite every
+    # reschedule leaving a stale heap entry behind.
+    assert not orchestrator._execs
+    assert not orchestrator._worker_execs or \
+        all(not t for t in orchestrator._worker_execs.values())
+    assert not orchestrator._rate_events
+    for worker in orchestrator.workers():
+        assert worker.check_integrity()
+    sim = orchestrator.sim
+    assert sim._scan_counts() == (sim._live, sim._real)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_contention_packed_replay_bit_identical(case_idx, policy_name):
+    """Packed arrivals and the idle fast-forward replay contention runs
+    exactly: rescheduled completions are real heap events, so the
+    analytic skip can never jump over a retiming."""
+    trace, config = CONTENTION_CASES[case_idx]
+    outcomes = {}
+    for label, workload_packed, fast_forward in (
+            ("classic", False, False),
+            ("packed", True, False),
+            ("packed+ff", True, True)):
+        cfg = dataclasses.replace(config, fast_forward=fast_forward)
+        orchestrator = Orchestrator(trace.functions,
+                                    POLICIES[policy_name](), cfg)
+        workload = (trace.packed() if workload_packed
+                    else trace.fresh_requests())
+        result = orchestrator.run(workload)
+        outcomes[label] = (
+            result.summary(),
+            [(r.req_id, r.start_type, r.start_ms, r.end_ms)
+             for r in result.requests])
+        sim = orchestrator.sim
+        assert sim._scan_counts() == (sim._live, sim._real)
+    assert outcomes["packed"] == outcomes["classic"]
+    assert outcomes["packed+ff"] == outcomes["classic"]
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("case_idx", range(N_SAMPLES))
+def test_inert_contention_bit_identical_to_none(case_idx, policy_name):
+    """alpha=0 keeps every slowdown at exactly 1.0, so the progress path
+    must reproduce the classic path bit for bit."""
+    trace, config = CONTENTION_CASES[case_idx]
+    inert = dataclasses.replace(
+        config, contention=ContentionModel(
+            cores=config.contention.cores, alpha=0.0))
+    off = dataclasses.replace(config, contention=None)
+    results = {}
+    for label, cfg in (("inert", inert), ("off", off)):
+        orchestrator = Orchestrator(trace.functions,
+                                    POLICIES[policy_name](), cfg)
+        result = orchestrator.run(trace.fresh_requests())
+        results[label] = (
+            result.summary(),
+            [(r.req_id, r.start_type, r.start_ms, r.end_ms, r.wait_ms)
+             for r in result.requests])
+    assert results["inert"] == results["off"]
+
+
+def test_contention_cases_exercise_slowdowns():
+    """The sampled contention grid is not vacuous: under at least one
+    policy every case stretches some execution past its service demand."""
+    for trace, config in CONTENTION_CASES:
+        orchestrator = Orchestrator(trace.functions, POLICIES["TTL"](),
+                                    config)
+        result = orchestrator.run(trace.fresh_requests())
+        assert any(r.end_ms - r.start_ms > r.exec_ms + 1e-9
+                   for r in result.requests), config.contention

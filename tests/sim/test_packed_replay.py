@@ -62,10 +62,12 @@ CASES = {name: (trace, gb) for name, trace, gb in _cases()}
 
 
 def _replay(trace, policy_name, capacity_gb, *, reference=False,
-            fast_forward=False, packed=False, sanitizer=None):
+            fast_forward=False, packed=False, sanitizer=None,
+            faults=None, contention=None):
     config = SimulationConfig(capacity_gb=capacity_gb,
                               reference_impl=reference,
-                              fast_forward=fast_forward)
+                              fast_forward=fast_forward,
+                              faults=faults, contention=contention)
     log = EventLog()
     policy = policy_factories()[policy_name](trace)
     orchestrator = Orchestrator(trace.functions, policy, config,
@@ -98,7 +100,8 @@ def _normalized_events(log):
             if base is None:
                 base = e.container_id
             cid = e.container_id - base
-        out.append((e.time_ms, e.kind.value, e.func, cid, e.req_id))
+        out.append((e.time_ms, e.kind.value, e.func, cid, e.req_id,
+                    e.detail, e.worker_id))
     return out
 
 
@@ -344,4 +347,140 @@ class TestAdvancePeriodic:
         handle.stopped = True  # stopped but tick left uncancelled
         assert sim.advance_periodic(25.0, {handle: None}) == 1
         assert sim.pending() == 0
+        assert sim._scan_counts() == (sim._live, sim._real)
+
+
+# ======================================================================
+# Fault layer x fast-forward soundness
+#
+# Every fault mechanism leaves *real* (non-periodic) heap events behind
+# — running executions, provision readies, pending restarts, armed
+# straggler-window boundaries — so the engine's `_real == 0` gate never
+# offers the hook a gap the fault layer still owns, and the orchestrator
+# additionally refuses while blocked provisions wait. These
+# differentials prove it end to end: chaos replay under fast-forward is
+# bit-identical to the classic reference replay.
+
+
+@pytest.mark.parametrize("policy_name", ("TTL", "CIDRE"))
+@pytest.mark.parametrize("chaos_seed", (7, 23))
+def test_faults_fast_forward_matches_reference(policy_name, chaos_seed):
+    from repro.sim.faults import random_plan
+    trace, capacity_gb = CASES["synth-tail"]
+    plan = random_plan(chaos_seed, workers=1,
+                       horizon_ms=trace.duration_ms)
+    _, ref, ref_log = _replay(trace, policy_name, capacity_gb,
+                              reference=True, faults=plan)
+    ref_events = _normalized_events(ref_log)
+    kinds = {e[1] for e in ref_events}
+    assert "worker_crash" in kinds  # the scenario is non-vacuous
+
+    for label, kwargs in (("packed", dict(packed=True)),
+                          ("packed+ff", dict(packed=True,
+                                             fast_forward=True))):
+        _, res, log = _replay(trace, policy_name, capacity_gb,
+                              faults=plan, **kwargs)
+        assert _normalized_events(log) == ref_events, label
+        assert _request_tuples(res) == _request_tuples(ref), label
+        assert res.summary() == ref.summary(), label
+
+
+@pytest.mark.parametrize("policy_name", ("TTL", "FaasCache"))
+def test_contention_fast_forward_matches_reference(policy_name):
+    from repro.sim.contention import ContentionModel
+    trace, _ = CASES["synth-bursty"]
+    model = ContentionModel(cores=1, alpha=1.0)
+    _, ref, ref_log = _replay(trace, policy_name, 1.0,
+                              reference=True, contention=model)
+    ref_events = _normalized_events(ref_log)
+    assert any(e[5].startswith("slowdown=") for e in ref_events
+               if e[1] == "exec_end")  # contention actually bit
+
+    for label, kwargs in (("packed", dict(packed=True)),
+                          ("packed+ff", dict(packed=True,
+                                             fast_forward=True)),
+                          ("classic", {})):
+        _, res, log = _replay(trace, policy_name, 1.0,
+                              contention=model, **kwargs)
+        assert _normalized_events(log) == ref_events, label
+        assert _request_tuples(res) == _request_tuples(ref), label
+        assert res.summary() == ref.summary(), label
+
+
+# ======================================================================
+# Engine: reschedule (the progress model's primitive)
+
+
+class TestReschedule:
+    def test_moves_event_and_skips_stale_entry(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10.0, fired.append, "a")
+        sim.schedule(15.0, fired.append, "b")
+        sim.reschedule(event, 20.0)
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 20.0
+
+    def test_reschedule_earlier(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(30.0, fired.append, "late")
+        sim.schedule(15.0, fired.append, "mid")
+        sim.reschedule(event, 5.0)
+        sim.run()
+        assert fired == ["late", "mid"]
+
+    def test_counters_stay_consistent(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        for t in (30.0, 7.0, 40.0):
+            sim.reschedule(event, t)
+            assert sim.pending() == 1
+            assert sim._scan_counts() == (sim._live, sim._real)
+        sim.run()
+        assert sim.pending() == 0
+        assert sim._scan_counts() == (0, 0)
+
+    def test_cancel_after_reschedule(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10.0, fired.append, "x")
+        sim.reschedule(event, 20.0)
+        event.cancel()
+        sim.schedule(1.0, fired.append, "y")
+        sim.run()
+        assert fired == ["y"]
+        assert sim._scan_counts() == (0, 0)
+
+    def test_rejects_cancelled_past_and_foreign_events(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.reschedule(event, 1.0)     # before now
+        event.cancel()
+        with pytest.raises(ValueError):
+            sim.reschedule(event, 20.0)    # cancelled
+        other = Simulator()
+        foreign = other.schedule(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.reschedule(foreign, 20.0)  # queued elsewhere
+
+    def test_rejects_fired_events(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.reschedule(event, 5.0)
+
+    def test_advance_periodic_skips_stale_entries(self):
+        """A stale completion entry lingering in an idle gap must not
+        abort the analytic skip (its event now lives later)."""
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda: None)
+        sim.reschedule(event, 100.0)   # stale entry remains at t=5
+        handle = sim.every(10.0, lambda: None)
+        assert sim.advance_periodic(45.0, {handle: None}) == 4
+        assert sim.now == 40.0
         assert sim._scan_counts() == (sim._live, sim._real)
