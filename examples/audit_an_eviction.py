@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Explaining policy decisions with the decision audit.
+"""Explaining policy decisions — and what they cost.
 
 Why did CIDRE evict *that* container? Why did the CSS gate close the
 cold-start path for a function? The event log says what happened; the
@@ -9,6 +9,13 @@ per BSS gate flip, and per REPLACE eviction with every victim's Eq. 3
 term decomposition (``clock``, ``freq_per_min``, ``cost_ms``,
 ``size_mb``, ``warm_count``) and the surviving candidates it outranked.
 
+The second half follows a decision to its *outcome*: with a
+:class:`repro.obs.CauseTracker` attached, every cold start is stamped
+with the decision that emptied the warm pool it would have hit, and
+the :class:`repro.obs.OutcomeResolver` settles each eviction at a
+horizon — the cold-start penalty it caused versus the memory it
+reclaimed (its *regret*), plus the keep-warm waste of its victims.
+
 A :class:`repro.obs.MetricsRegistry` rides along and exports the run as
 Prometheus text exposition.
 
@@ -16,7 +23,8 @@ Run with::
 
     python examples/audit_an_eviction.py
 
-(or reproduce it from the CLI with ``cidre-sim audit``).
+(or reproduce it from the CLI with ``cidre-sim audit`` and
+``cidre-sim blame``).
 """
 
 from __future__ import annotations
@@ -24,10 +32,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro import CIDREPolicy
+from repro.analysis.attribution import (cause_breakdown, frontier_rows,
+                                        regret_instants, worst_decisions)
 from repro.analysis.audit import (eviction_balance, expensive_decisions,
                                   gate_flip_timeline)
-from repro.obs import DecisionAudit, MetricsRegistry
+from repro.obs import CauseTracker, DecisionAudit, MetricsRegistry, resolve
 from repro.sim import FunctionSpec, Orchestrator, Request, SimulationConfig
+from repro.sim.eventlog import EventLog
+from repro.sim.telemetry import write_chrome_trace
 
 
 def contended_burst(rng, n_funcs=5, rounds=40):
@@ -52,9 +64,12 @@ def main() -> None:
 
     audit = DecisionAudit()
     metrics = MetricsRegistry()
+    log = EventLog()
     orchestrator = Orchestrator(functions, CIDREPolicy(),
                                 SimulationConfig(capacity_gb=1.0),
-                                audit=audit, metrics=metrics)
+                                audit=audit, metrics=metrics,
+                                event_log=log,
+                                attribution=CauseTracker())
     result = orchestrator.run(requests)
 
     by_kind = {kind: len(audit.of_kind(kind))
@@ -99,10 +114,36 @@ def main() -> None:
     for func, count, share in balance.rows():
         print(f"  {func}: {count} ({share:.1%})")
 
-    # --- and the metrics sidecar -------------------------------------
+    # --- from intent to outcome: what did the decisions cost? --------
+    resolver = resolve(audit.records, log.events, metrics=metrics)
+    print("\ncold starts by proximate cause:",
+          dict(sorted(cause_breakdown(log.events).items())))
+    print(f"{len(resolver.outcomes)} decisions settled; worst by regret:")
+    for outcome, record in worst_decisions(resolver, audit, k=3):
+        for_func = (record or {}).get("for_func", "?")
+        print(f"  #{outcome.did} ({outcome.kind}) at "
+              f"{outcome.t_ms:,.0f} ms for {for_func}: caused "
+              f"{outcome.penalty_ms:,.0f} ms of cold starts across "
+              f"{outcome.provisions} provision(s), reclaimed "
+              f"{outcome.reclaimed_mb_ms / 1e3:,.0f} MB-s -> regret "
+              f"{outcome.regret_ms:,.0f} ms")
+
+    # The flip side: which functions were kept warm for nothing?
+    print("keep-warm waste vs cold-start penalty (top 3 by waste):")
+    for func, waste_mb_ms, penalty_ms in frontier_rows(resolver)[:3]:
+        print(f"  {func}: idled {waste_mb_ms / 1e3:,.0f} MB-s, "
+              f"paid {penalty_ms:,.0f} ms of blamed cold starts")
+
+    # --- and the artifact sidecars -----------------------------------
+    # High-regret evictions become instant markers on the Chrome trace,
+    # so the Perfetto timeline links each spike to its decision.
+    markers = regret_instants(resolver, threshold_ms=0.0)
+    write_chrome_trace("audit_run.trace.json", log.events,
+                       instants=markers)
     metrics.save_prometheus("audit_metrics.prom")
-    print(f"\nwrote audit_metrics.prom ({len(metrics)} metric families) "
-          f"— promtool/Grafana-ready text exposition")
+    print(f"\nwrote audit_run.trace.json ({len(markers)} high-regret "
+          f"markers) and audit_metrics.prom ({len(metrics)} metric "
+          f"families) — promtool/Grafana-ready text exposition")
 
 
 if __name__ == "__main__":

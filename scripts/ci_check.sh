@@ -86,7 +86,8 @@ records = [json.loads(line)
            for line in open(f"{tmpdir}/audit.jsonl") if line.strip()]
 assert records, "no audit records streamed"
 kinds = {r["kind"] for r in records}
-assert kinds <= {"css_scale", "gate_flip", "eviction_decision"}, kinds
+assert kinds <= {"css_scale", "gate_flip", "eviction_decision",
+                 "scale_down"}, kinds
 assert all("t" in r for r in records)
 prom = open(f"{tmpdir}/metrics.prom").read()
 assert "# TYPE" in prom and "repro_requests_total" in prom
@@ -122,6 +123,21 @@ if grep -Eq "worker_crashes +0\.000" "$tmpdir/chaos-plain.txt"; then
 fi
 echo "chaos replay deterministic under the sanitizer, crashes injected"
 
+echo "== blame smoke (causal attribution on the chaos trace) =="
+# Attribution + outcome resolution over the seeded chaos run. The check
+# is non-vacuous: at least one cold start must be blamed on an audited
+# eviction decision (the chaos trace is known to churn the warm pool).
+python -m repro.cli blame --preset azure --requests 1500 --seed 3 \
+    --policy CIDRE --capacity-gb 4 --workers 2 --chaos-seed 7 \
+    --top 3 > "$tmpdir/blame.txt"
+grep -q "cold starts by proximate cause" "$tmpdir/blame.txt"
+grep -q "worst decisions" "$tmpdir/blame.txt"
+if ! grep -Eq "^eviction +[1-9]" "$tmpdir/blame.txt"; then
+    echo "FATAL: blame smoke found no eviction-caused cold starts" >&2
+    exit 1
+fi
+echo "blame attribution non-vacuous: eviction-caused cold starts resolved"
+
 echo "== fast-forward vs reference event-log cmp (bit-identity) =="
 # The packed-stream + idle-fast-forward replay must produce a
 # byte-identical JSONL event log to the classic reference replay.
@@ -132,6 +148,9 @@ python -m repro.cli "${ff_common[@]}" --reference \
 python -m repro.cli "${ff_common[@]}" --fast-forward \
     --events-out "$tmpdir/events-ff.jsonl" > /dev/null
 cmp "$tmpdir/events-ref.jsonl" "$tmpdir/events-ff.jsonl"
+# Same check through the diff verb (exit 0 + "identical" on no drift).
+python -m repro.cli diff "$tmpdir/events-ref.jsonl" \
+    "$tmpdir/events-ff.jsonl" | grep -q "identical"
 echo "fast-forward event log matches reference byte-for-byte"
 
 echo "== contention smoke (inert-model identity, deterministic replay) =="

@@ -1,5 +1,11 @@
 """Trace and result analytics: CDFs, what-if studies, opportunity space."""
 
+from repro.analysis.attribution import (AttributedRun, CounterfactualCheck,
+                                        cause_breakdown, cause_chain,
+                                        counterfactual_check, frontier_rows,
+                                        regret_instants, run_attributed,
+                                        victim_decomposition,
+                                        worst_decisions)
 from repro.analysis.audit import (EvictionBalance, eviction_balance,
                                   expensive_decisions, gate_flip_rows,
                                   gate_flip_timeline, gate_flips)
@@ -30,6 +36,10 @@ from repro.analysis.whatif import (QueueAlwaysFaasCache, QueueLengthResult,
                                    tradeoff_analysis)
 
 __all__ = [
+    "AttributedRun", "CounterfactualCheck", "cause_breakdown",
+    "cause_chain", "counterfactual_check", "frontier_rows",
+    "regret_instants", "run_attributed", "victim_decomposition",
+    "worst_decisions",
     "ClassColdStarts", "ConcurrencyPoint", "CrashWindow",
     "cold_start_breakdown", "concurrency_curve", "crash_windows",
     "exec_concurrency", "goodput_series", "interference_summary",

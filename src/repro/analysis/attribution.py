@@ -1,0 +1,282 @@
+"""Blame analysis: from cause stamps and settled outcomes to answers.
+
+Builds the ``cidre-sim blame`` story on top of the attribution /
+outcome machinery (:mod:`repro.obs.attribution`,
+:mod:`repro.obs.outcomes`):
+
+* :func:`run_attributed` — one factual replay with the full blame
+  instrumentation attached (event log, decision audit, cause tracker,
+  outcome resolver), plus the container-id bookkeeping counterfactual
+  replays need.
+* :func:`cause_breakdown` / :func:`worst_decisions` /
+  :func:`frontier_rows` — the three report surfaces: cold starts by
+  proximate cause, the top-K highest-regret decisions joined back to
+  their audit records (Eq. 3 decomposition for REPLACE victims), and
+  the per-function keep-warm-waste vs cold-start-penalty frontier.
+* :func:`cause_chain` — one request's causal story: request → cold
+  start → cause label → the audit record of the decision it blames.
+* :func:`counterfactual_check` — validation: replay with one audited
+  eviction suppressed (its victims pinned) and compare the measured
+  cold-start delta against the resolver's analytic penalty.
+
+The counterfactual relies on two properties. First, pinning a
+decision's victims cannot change the replay *before* that decision:
+the victims factually survived until it fired, so every earlier
+REPLACE choice and its feasibility are unchanged and decision ids stay
+aligned across the two runs. Second, container ids are drawn from a
+process-global counter, so factual victim ids are rebased onto the
+counterfactual run by a constant offset learned from
+:func:`repro.sim.container.reserve_container_id`. Pinning only guards
+the base ``make_room`` path — policies that evict outside it (TTL
+expiry, layer decay) may still remove a pinned victim, and a pinned
+container that never frees can wedge the replay (reported as
+``feasible=False`` rather than raised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentResult, run_one
+from repro.obs.attribution import CauseTracker
+from repro.obs.audit import DecisionAudit
+from repro.obs.outcomes import (DEFAULT_HORIZON_MS, DecisionOutcome,
+                                OutcomeResolver, resolve)
+from repro.sim.container import reserve_container_id
+from repro.sim.eventlog import (Event, EventKind, EventLog, cause_class,
+                                cause_decision_id, split_cause)
+
+__all__ = ["AttributedRun", "CounterfactualCheck", "cause_breakdown",
+           "cause_chain", "counterfactual_check", "frontier_rows",
+           "regret_instants", "run_attributed", "victim_decomposition",
+           "worst_decisions"]
+
+
+@dataclass
+class AttributedRun:
+    """One factual replay with blame instrumentation attached."""
+
+    experiment: ExperimentResult
+    log: EventLog
+    audit: DecisionAudit
+    tracker: CauseTracker
+    resolver: OutcomeResolver
+    horizon_ms: float
+    #: container id of the run's first container (for cid rebasing).
+    first_cid: int
+
+
+def run_attributed(trace, factory, config, horizon_ms: float =
+                   DEFAULT_HORIZON_MS, credit_ms_per_mb_ms: float = 0.0,
+                   metrics=None) -> AttributedRun:
+    """Replay once with event log + audit + attribution + resolver."""
+    first_cid = reserve_container_id() + 1
+    log = EventLog()
+    audit = DecisionAudit()
+    tracker = CauseTracker()
+    experiment = run_one(trace, factory, config, event_log=log,
+                         audit=audit, attribution=tracker)
+    resolver = resolve(audit.records, log.events, horizon_ms=horizon_ms,
+                       credit_ms_per_mb_ms=credit_ms_per_mb_ms,
+                       metrics=metrics)
+    return AttributedRun(experiment=experiment, log=log, audit=audit,
+                         tracker=tracker, resolver=resolver,
+                         horizon_ms=horizon_ms, first_cid=first_cid)
+
+
+# ----------------------------------------------------------------------
+# Report surfaces
+
+
+def cause_breakdown(events: Iterable[Event]) -> Dict[str, int]:
+    """Stamped cold starts by cause class, straight off the events."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.kind is not EventKind.PROVISION_START:
+            continue
+        _, cause = split_cause(event.detail)
+        if cause:
+            cls = cause_class(cause)
+            counts[cls] = counts.get(cls, 0) + 1
+    return counts
+
+
+def worst_decisions(resolver: OutcomeResolver, audit: DecisionAudit,
+                    k: int = 5
+                    ) -> List[Tuple[DecisionOutcome, Optional[Dict]]]:
+    """The ``k`` settled decisions with the highest regret, each joined
+    with its audit record (``None`` if it rotated out of a bounded
+    ring). Ties break on decision id so the report is deterministic."""
+    ranked = sorted(resolver.outcomes,
+                    key=lambda o: (-o.regret_ms, o.did))
+    return [(outcome, audit.record_by_id(outcome.did))
+            for outcome in ranked[:k]]
+
+
+def victim_decomposition(record: Dict) -> List[List]:
+    """Eq. 3 component rows for a REPLACE decision's victims.
+
+    Columns: func, cid, clock, freq_per_min, cost_ms, size_mb,
+    warm_count, priority — the values the ranking actually used
+    (recorded before the eviction ticked the clock)."""
+    rows = []
+    for victim in record.get("victims", ()):
+        rows.append([victim.get("func"), victim.get("cid"),
+                     victim.get("clock"), victim.get("freq_per_min"),
+                     victim.get("cost_ms"), victim.get("size_mb"),
+                     victim.get("warm_count"), victim.get("priority")])
+    return rows
+
+
+def frontier_rows(resolver: OutcomeResolver) -> List[List]:
+    """Per-function keep-warm-waste vs cold-start-penalty frontier.
+
+    One row per function touched by any settled decision or waste
+    record: ``[func, waste_mb_ms, penalty_ms]``, sorted by descending
+    waste (ties on name). Functions high on both axes are being churned
+    — evicted while still idle-expensive *and* paying cold starts for
+    it; high waste with zero penalty marks safe eviction targets the
+    policy is keeping warm for nothing."""
+    waste = resolver.waste_by_func()
+    penalty = resolver.penalty_by_func()
+    rows = [[func, waste.get(func, 0.0), penalty.get(func, 0.0)]
+            for func in sorted(set(waste) | set(penalty))]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def regret_instants(resolver: OutcomeResolver,
+                    threshold_ms: float = 0.0) -> List[Dict]:
+    """Chrome-trace instant markers for high-regret evictions.
+
+    One marker per settled decision with ``regret_ms > threshold_ms``,
+    in the ``instants`` format of
+    :func:`repro.sim.telemetry.chrome_trace`: the marker sits at the
+    decision's timestamp and carries its decision id, penalty and
+    regret as args so a Perfetto user can jump from the spike to the
+    decision that caused it."""
+    markers = []
+    for outcome in resolver.outcomes:
+        if outcome.regret_ms > threshold_ms:
+            markers.append({
+                "time_ms": outcome.t_ms,
+                "name": f"high-regret {outcome.kind} #{outcome.did}",
+                "args": {"did": outcome.did,
+                         "penalty_ms": outcome.penalty_ms,
+                         "regret_ms": outcome.regret_ms,
+                         "victims": len(outcome.victims)},
+            })
+    return markers
+
+
+def cause_chain(log: EventLog, audit: Optional[DecisionAudit],
+                req_id: int) -> Optional[Dict]:
+    """One request's cold-start cause chain, or ``None`` if it never
+    cold-started (warm/delayed hits have no provision to blame).
+
+    Returns ``{"provision": Event, "kind": str, "cause": str,
+    "record": Optional[Dict]}`` — the blamed decision's audit record is
+    joined in when the cause names one and ``audit`` still holds it."""
+    provision = log.cold_start_of(req_id)
+    if provision is None:
+        return None
+    kind, cause = split_cause(provision.detail)
+    record = None
+    if cause and audit is not None:
+        did = cause_decision_id(cause)
+        if did is not None:
+            record = audit.record_by_id(did)
+    return {"provision": provision, "kind": kind, "cause": cause,
+            "record": record}
+
+
+# ----------------------------------------------------------------------
+# Pinned-decision counterfactual
+
+
+@dataclass(frozen=True)
+class CounterfactualCheck:
+    """Analytic regret vs a replay with one eviction suppressed."""
+
+    did: int
+    t_ms: float
+    funcs: Tuple[str, ...]            #: victim functions compared
+    analytic_penalty_ms: float        #: resolver's settled penalty
+    factual_window_ms: float          #: victims' cold-start ms, factual
+    counterfactual_window_ms: float   #: same window, decision pinned
+    feasible: bool                    #: False = pinned replay wedged
+
+    @property
+    def measured_delta_ms(self) -> float:
+        """Cold-start time the decision measurably caused."""
+        return self.factual_window_ms - self.counterfactual_window_ms
+
+
+def _window_provision_ms(events: Sequence[Event], funcs,
+                         t_lo: float, t_hi: float) -> float:
+    """Realized provision time (READY - START) of ``funcs`` whose
+    provisioning started inside ``[t_lo, t_hi]``."""
+    total = 0.0
+    started: Dict[int, float] = {}
+    for event in events:
+        if event.kind is EventKind.PROVISION_START:
+            if event.func in funcs and t_lo <= event.time_ms <= t_hi:
+                started[event.container_id] = event.time_ms
+        elif event.kind is EventKind.CONTAINER_READY:
+            begun = started.pop(event.container_id, None)
+            if begun is not None:
+                total += event.time_ms - begun
+    return total
+
+
+def counterfactual_check(trace, factory, config, run: AttributedRun,
+                         did: int) -> CounterfactualCheck:
+    """Replay with decision ``did``'s victims pinned; compare windows.
+
+    The factual and the pinned replay measure the same absolute time
+    window ``[t_d, t_d + horizon]`` (both runs are identical up to
+    ``t_d``), summing realized provision time for the victims'
+    functions. With the eviction suppressed those functions stay warm,
+    so the window delta is the cold-start penalty the decision caused —
+    the quantity the resolver computes analytically from cause stamps.
+    A pinned replay that cannot finish (immortal victims wedge the
+    memory) is reported with ``feasible=False`` and zeroed windows."""
+    record = run.audit.record_by_id(did)
+    if record is None or record.get("kind") not in ("eviction_decision",
+                                                    "scale_down"):
+        raise ValueError(f"decision {did} is not an audited eviction")
+    if record["kind"] == "eviction_decision":
+        victims = [(v["cid"], v["func"]) for v in record["victims"]]
+    else:
+        victims = [(record["cid"], record["func"])]
+    t_d = record["t"]
+    t_hi = t_d + run.horizon_ms
+    funcs = tuple(sorted({func for _cid, func in victims}))
+    outcome = run.resolver.outcome_of(did)
+    analytic_ms = outcome.penalty_ms if outcome is not None else 0.0
+    factual_ms = _window_provision_ms(run.log.events, funcs, t_d, t_hi)
+
+    offset = (reserve_container_id() + 1) - run.first_cid
+    protected = frozenset(cid + offset for cid, _func in victims)
+
+    def pinned_factory(t):
+        policy = factory(t)
+        policy.protected_cids = protected
+        return policy
+
+    pinned_log = EventLog()
+    try:
+        run_one(trace, pinned_factory, config, event_log=pinned_log)
+    except RuntimeError:
+        return CounterfactualCheck(
+            did=did, t_ms=t_d, funcs=funcs,
+            analytic_penalty_ms=analytic_ms,
+            factual_window_ms=0.0, counterfactual_window_ms=0.0,
+            feasible=False)
+    pinned_ms = _window_provision_ms(pinned_log.events, funcs, t_d, t_hi)
+    return CounterfactualCheck(
+        did=did, t_ms=t_d, funcs=funcs,
+        analytic_penalty_ms=analytic_ms,
+        factual_window_ms=factual_ms,
+        counterfactual_window_ms=pinned_ms, feasible=True)

@@ -289,7 +289,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    """Replay and print one request's latency story from the event log."""
+    """Replay and print one request's latency story from the event log,
+    including the cold-start cause chain when the request cold-started."""
+    from repro.analysis.attribution import cause_chain
+    from repro.obs import CauseTracker, DecisionAudit
     from repro.sim.eventlog import EventLog
 
     trace = _build_trace(args)
@@ -300,7 +303,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
                               workers=args.workers,
                               threads_per_container=args.threads)
     log = EventLog()
-    experiment = run_one(trace, factory, config, event_log=log)
+    audit = DecisionAudit()
+    experiment = run_one(trace, factory, config, event_log=log,
+                         audit=audit, attribution=CauseTracker())
     result = experiment.result
     req = next((r for r in result.requests if r.req_id == args.req_id),
                None)
@@ -314,6 +319,29 @@ def cmd_explain(args: argparse.Namespace) -> int:
           f"executed {req.exec_ms:.3f} ms on c{req.container_id}")
     print()
     print(log.render(log.explain_request(args.req_id)))
+    chain = cause_chain(log, audit, args.req_id)
+    if chain is not None:
+        provision = chain["provision"]
+        print()
+        print(f"cold-start cause chain: r{req.req_id} -> "
+              f"c{provision.container_id} provisioned at "
+              f"{provision.time_ms:.3f} ms ({chain['kind']}) because "
+              f"{chain['cause'] or 'attribution unavailable'}")
+        record = chain["record"]
+        if record is not None:
+            if record["kind"] == "eviction_decision":
+                victims = ", ".join(
+                    f"c{v['cid']} {v['func']} ({v['mem_mb']:g} MB)"
+                    for v in record["victims"])
+                print(f"  decision #{record['did']} at "
+                      f"{record['t']:.3f} ms: REPLACE freed "
+                      f"{record['freed_mb']:g} MB for "
+                      f"{record.get('for_func', '?')} — evicted {victims}")
+            else:
+                print(f"  decision #{record['did']} at "
+                      f"{record['t']:.3f} ms: scale-down evicted "
+                      f"c{record['cid']} {record['func']} after "
+                      f"{record['idle_ms']:.0f} ms idle")
     return 0
 
 
@@ -397,6 +425,149 @@ def cmd_audit(args: argparse.Namespace) -> int:
             ["t_ms", "kind", "decision", "cost_ms"], rows,
             title=f"top {len(rows)} most expensive decisions"))
     return 0
+
+
+def cmd_blame(args: argparse.Namespace) -> int:
+    """Replay with causal attribution and the outcome resolver: cold
+    starts by proximate cause, the highest-regret decisions (with their
+    Eq. 3 decomposition), the keep-warm-waste vs cold-start-penalty
+    frontier, and optionally a pinned-decision counterfactual check."""
+    from repro.analysis.attribution import (counterfactual_check,
+                                            frontier_rows, run_attributed,
+                                            victim_decomposition,
+                                            worst_decisions)
+
+    trace = _build_trace(args)
+    factory = _resolve_policy(args.policy)
+    if factory is None:
+        return 2
+    config = SimulationConfig(capacity_gb=args.capacity_gb,
+                              workers=args.workers,
+                              threads_per_container=args.threads,
+                              faults=_fault_plan(args, trace),
+                              contention=_contention_model(args))
+    metrics = _metrics_registry(args.metrics_out)
+    run = run_attributed(trace, factory, config,
+                         horizon_ms=args.horizon_ms,
+                         credit_ms_per_mb_ms=args.credit_rate,
+                         metrics=metrics)
+    result = run.experiment.result
+    resolver = run.resolver
+    total_stamped = sum(resolver.causes.values())
+    print(f"replayed {result.total} requests "
+          f"({args.policy} on {trace.name} @ {args.capacity_gb:g} GB): "
+          f"{total_stamped} cold starts attributed, "
+          f"{len(resolver.outcomes)} decisions settled at a "
+          f"{args.horizon_ms:g} ms horizon")
+    if metrics is not None:
+        _write_metrics(metrics, args.metrics_out)
+
+    if resolver.causes:
+        print()
+        print(render_table(
+            ["cause", "cold starts", "share"],
+            [[cause, count, f"{count / total_stamped:.1%}"]
+             for cause, count in sorted(resolver.causes.items(),
+                                        key=lambda kv: (-kv[1], kv[0]))],
+            title="cold starts by proximate cause"))
+
+    worst = worst_decisions(resolver, run.audit, k=args.top)
+    if worst:
+        rows = []
+        for outcome, record in worst:
+            funcs = ",".join(sorted({f for _c, f, _m in outcome.victims}))
+            rows.append([outcome.did, outcome.kind, outcome.t_ms,
+                         f"{len(outcome.victims)} ({funcs})",
+                         outcome.penalty_ms,
+                         outcome.reclaimed_mb_ms / 1000.0,
+                         outcome.regret_ms])
+        print()
+        print(render_table(
+            ["did", "kind", "t_ms", "victims", "penalty_ms", "mb_s_freed",
+             "regret_ms"],
+            rows, title=f"top {len(rows)} worst decisions"))
+        head_outcome, head_record = worst[0]
+        if (head_record is not None
+                and head_record["kind"] == "eviction_decision"):
+            print()
+            print(render_table(
+                ["func", "cid", "clock", "freq_per_min", "cost_ms",
+                 "size_mb", "warm_count", "priority"],
+                victim_decomposition(head_record),
+                title=f"decision #{head_outcome.did}: Eq. 3 victim "
+                      f"decomposition"))
+    else:
+        print("\nno settled eviction decisions to rank")
+
+    frontier = frontier_rows(resolver)
+    if frontier:
+        print()
+        print(render_table(
+            ["func", "keepwarm_waste_mb_s", "coldstart_penalty_ms"],
+            [[func, waste / 1000.0, penalty]
+             for func, waste, penalty in frontier],
+            title="keep-warm waste vs cold-start penalty (per function)"))
+
+    if args.counterfactual:
+        evictions = [outcome for outcome, _record in worst
+                     if outcome.kind in ("eviction", "scale-down")]
+        checked = evictions[:args.counterfactual]
+        rows = []
+        for outcome in checked:
+            check = counterfactual_check(trace, factory, config, run,
+                                         outcome.did)
+            rows.append([check.did,
+                         check.analytic_penalty_ms,
+                         check.measured_delta_ms if check.feasible
+                         else "n/a",
+                         "yes" if check.feasible else "no (wedged)"])
+        if rows:
+            print()
+            print(render_table(
+                ["did", "analytic_ms", "replay_delta_ms", "feasible"],
+                rows,
+                title=f"pinned-decision counterfactual "
+                      f"({len(rows)} replayed)"))
+        else:
+            print("\nno eviction decisions to replay counterfactually")
+    return 0
+
+
+def _read_event_lines(path: str) -> List[str]:
+    with open(path) as fh:
+        return [line.rstrip("\n") for line in fh if line.strip()]
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """First divergence between two JSONL event streams (exit 1 when
+    they differ, like diff(1))."""
+    lines_a = _read_event_lines(args.events_a)
+    lines_b = _read_event_lines(args.events_b)
+    common = min(len(lines_a), len(lines_b))
+    divergence = next((i for i in range(common)
+                       if lines_a[i] != lines_b[i]), None)
+    if divergence is None:
+        if len(lines_a) == len(lines_b):
+            print(f"identical: {len(lines_a)} events")
+            return 0
+        divergence = common
+    context = args.context
+    print(f"streams diverge at event {divergence} "
+          f"({args.events_a}: {len(lines_a)} events, "
+          f"{args.events_b}: {len(lines_b)} events)")
+    lead = lines_a[max(0, divergence - context):divergence]
+    if lead:
+        print("shared context:")
+        for offset, line in enumerate(lead, start=divergence - len(lead)):
+            print(f"  [{offset}] {line}")
+    for name, lines in ((args.events_a, lines_a), (args.events_b, lines_b)):
+        print(f"{name}:")
+        window = lines[divergence:divergence + context + 1]
+        if not window:
+            print("  (stream ends)")
+        for offset, line in enumerate(window, start=divergence):
+            print(f"  [{offset}] {line}")
+    return 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -753,6 +924,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     audit.add_argument("--top", type=int, default=5,
                        help="most expensive decisions shown (default 5)")
     audit.set_defaults(func=cmd_audit)
+
+    blame = sub.add_parser(
+        "blame", help="replay with causal attribution: cold starts by "
+                      "cause, highest-regret decisions, keep-warm "
+                      "frontier")
+    _add_trace_args(blame)
+    blame.add_argument("--policy", default="CIDRE")
+    blame.add_argument("--capacity-gb", type=float, default=100.0)
+    blame.add_argument("--workers", type=int, default=1)
+    blame.add_argument("--threads", type=int, default=1)
+    blame.add_argument("--horizon-ms", type=float, default=60_000.0,
+                       help="settlement horizon: how long a decision's "
+                            "consequences are tallied (default 60000)")
+    blame.add_argument("--credit-rate", type=float, default=0.0,
+                       help="memory credit in ms per MB-ms reclaimed, "
+                            "subtracted from the cold-start penalty "
+                            "(default 0 = regret is the raw penalty)")
+    blame.add_argument("--top", type=int, default=5,
+                       help="worst decisions shown (default 5)")
+    blame.add_argument("--counterfactual", type=int, default=0,
+                       help="validate the top-N worst evictions by "
+                            "replaying with each pinned (slow: one "
+                            "replay per decision)")
+    blame.add_argument("--metrics-out", default=None,
+                       help="write a metrics snapshot here (Prometheus "
+                            "text for .prom/.txt, JSON otherwise)")
+    _add_fault_args(blame)
+    _add_contention_args(blame)
+    blame.set_defaults(func=cmd_blame)
+
+    diff = sub.add_parser(
+        "diff", help="first divergence between two JSONL event streams")
+    diff.add_argument("events_a", help="baseline events .jsonl")
+    diff.add_argument("events_b", help="candidate events .jsonl")
+    diff.add_argument("--context", type=int, default=5,
+                      help="events of context shown around the "
+                           "divergence (default 5)")
+    diff.set_defaults(func=cmd_diff)
 
     explain = sub.add_parser(
         "explain", help="replay and explain one request's latency story")

@@ -41,13 +41,16 @@ class ExperimentResult:
 def run_one(trace: Trace, factory: PolicyFactory,
             config: Optional[SimulationConfig] = None,
             event_log=None, recorder=None, audit=None,
-            metrics=None, sanitizer=None) -> ExperimentResult:
+            metrics=None, sanitizer=None,
+            attribution=None) -> ExperimentResult:
     """Run one policy over one trace.
 
-    ``event_log`` / ``recorder`` / ``audit`` / ``metrics`` are optional
-    observability attachments (:class:`repro.sim.EventLog`,
+    ``event_log`` / ``recorder`` / ``audit`` / ``metrics`` /
+    ``attribution`` are optional observability attachments
+    (:class:`repro.sim.EventLog`,
     :class:`repro.sim.telemetry.TimeSeriesRecorder`,
-    :class:`repro.obs.DecisionAudit`, :class:`repro.obs.MetricsRegistry`)
+    :class:`repro.obs.DecisionAudit`, :class:`repro.obs.MetricsRegistry`,
+    :class:`repro.obs.CauseTracker`)
     passed through to the orchestrator; they observe the run without
     changing its outcome. ``sanitizer`` is an optional
     :class:`repro.sim.sanitizer.SimSanitizer` installed for the duration
@@ -58,7 +61,8 @@ def run_one(trace: Trace, factory: PolicyFactory,
     policy = factory(trace)
     orchestrator = Orchestrator(trace.functions, policy, config,
                                 event_log=event_log, recorder=recorder,
-                                audit=audit, metrics=metrics)
+                                audit=audit, metrics=metrics,
+                                attribution=attribution)
     # Replay from the compiled (packed) form: the orchestrator streams
     # arrivals off the flat columns and materializes fresh request
     # records lazily — one compile per trace, shared across runs, with

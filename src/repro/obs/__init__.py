@@ -12,13 +12,19 @@ Both attachments are opt-in and strictly read-only: runs with them on
 are bit-identical to runs with them off (pinned by differential tests).
 """
 
+from repro.obs.attribution import (CAUSE_CLASSES, CauseTracker, cause_class,
+                                   cause_decision_id, split_cause)
 from repro.obs.audit import (AuditJsonlSink, AuditSink, DecisionAudit,
                              RECORD_KINDS, read_audit_jsonl)
 from repro.obs.metrics import (Counter, DEFAULT_LATENCY_BUCKETS_MS, Gauge,
                                Histogram, MetricsRegistry)
+from repro.obs.outcomes import (ContainerWaste, DecisionOutcome,
+                                OutcomeResolver, resolve)
 
 __all__ = [
-    "AuditJsonlSink", "AuditSink", "Counter",
-    "DEFAULT_LATENCY_BUCKETS_MS", "DecisionAudit", "Gauge", "Histogram",
-    "MetricsRegistry", "RECORD_KINDS", "read_audit_jsonl",
+    "AuditJsonlSink", "AuditSink", "CAUSE_CLASSES", "CauseTracker",
+    "ContainerWaste", "Counter", "DEFAULT_LATENCY_BUCKETS_MS",
+    "DecisionAudit", "DecisionOutcome", "Gauge", "Histogram",
+    "MetricsRegistry", "OutcomeResolver", "RECORD_KINDS", "cause_class",
+    "cause_decision_id", "read_audit_jsonl", "resolve", "split_cause",
 ]

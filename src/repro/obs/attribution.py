@@ -1,0 +1,136 @@
+"""Causal cold-start attribution: which decision emptied the warm pool?
+
+A :class:`CauseTracker` attached to a run
+(``Orchestrator(..., attribution=CauseTracker())``) stamps every
+``PROVISION_START`` with its *proximate cause* — the reason the request
+could not be served warm:
+
+``first-invocation``
+    The function never had a container (or nothing ever removed one):
+    the unavoidable first cold start.
+``eviction:<decision_id>``
+    A ``make_room`` REPLACE decision (audited as an
+    ``eviction_decision`` record with that ``decision_id``) removed the
+    function's last container.
+``scale-down:<decision_id>``
+    A policy-direct eviction — TTL expiry, keep-alive decay, prewarm
+    reclaim — removed the last container; the orchestrator mints a
+    ``scale_down`` audit record for it on the spot.
+``crash``
+    A worker crash destroyed the function's last container (fault
+    layer); there is no decision to blame, only the fault plan.
+``capacity-blocked``
+    Containers of the function exist but none could take the request
+    (all busy/provisioning, or idle on another worker): the cold start
+    is a concurrency shortfall, not a removal.
+
+The tracker keeps one integer per function (containers currently in
+existence: provisioning, idle, busy or compressed) plus the blame label
+written whenever a removal zeroes that count. It is strictly read-only
+with respect to the simulation: the only observable difference between
+an attributed and an unattributed run is the ``" cause=..."`` suffix on
+``PROVISION_START`` details (pinned by
+``tests/obs/test_attribution_differential.py``), and attribution *off*
+is byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.sim.eventlog import (CAUSE_CLASSES, cause_class,
+                                cause_decision_id, split_cause)
+
+__all__ = ["CAUSE_CLASSES", "CauseTracker", "cause_class",
+           "cause_decision_id", "split_cause"]
+
+
+class CauseTracker:
+    """Per-function warm-pool accounting behind the cause stamps.
+
+    The orchestrator drives it from exactly three sites: every
+    ``_begin_provision`` (:meth:`begin_provision`, which both computes
+    the stamp and counts the new container), every :meth:`~note_removal`
+    (REPLACE and policy-direct evictions), and every crash
+    (:meth:`note_crash`). All methods fold into tracker-owned state
+    only; arguments are never mutated.
+    """
+
+    def __init__(self) -> None:
+        #: func -> containers currently in existence (any live state).
+        self._live: Dict[str, int] = {}
+        #: func -> (cause class, decision_id or None) written when a
+        #: removal zeroed the pool; absent = never emptied by a removal.
+        self._blame: Dict[str, Tuple[str, Optional[int]]] = {}
+        #: Stamps handed out, by cause class (cheap sanity/summary view).
+        self.stamped: Dict[str, int] = {}
+
+    # -- provisioning --------------------------------------------------
+
+    def begin_provision(self, func: str) -> str:
+        """Cause label for a provision of ``func`` starting now.
+
+        Also counts the new container into the pool, so a burst of
+        provisions after one eviction blames the eviction exactly once
+        (the remainder are ``capacity-blocked`` — only the removed
+        container could have absorbed one of them).
+        """
+        live = self._live
+        count = live.get(func, 0)
+        if count > 0:
+            label = "capacity-blocked"
+        else:
+            blamed = self._blame.get(func)
+            if blamed is None:
+                label = "first-invocation"
+            elif blamed[1] is None:
+                label = blamed[0]
+            else:
+                label = f"{blamed[0]}:{blamed[1]}"
+        live[func] = count + 1
+        counts = self.stamped
+        cls = cause_class(label)
+        counts[cls] = counts.get(cls, 0) + 1
+        return label
+
+    # -- removals ------------------------------------------------------
+
+    def note_removal(self, func: str, kind: str,
+                     decision_id: Optional[int]) -> None:
+        """One container of ``func`` was evicted.
+
+        ``kind`` is ``"eviction"`` for REPLACE victims (the decision_id
+        of the audited ``eviction_decision``) and ``"scale-down"`` for
+        policy-direct evictions (the decision_id of the minted
+        ``scale_down`` record, or ``None`` with no audit attached).
+        """
+        live = self._live
+        count = live.get(func, 0) - 1
+        if count < 0:  # pragma: no cover - defensive
+            count = 0
+        live[func] = count
+        if count == 0:
+            self._blame[func] = (kind, decision_id)
+
+    def note_crash(self, funcs: Iterable[str]) -> None:
+        """A worker crash destroyed one container per entry of ``funcs``
+        (duplicates allowed — crashes kill whole pools at once)."""
+        live = self._live
+        blame = self._blame
+        for func in funcs:
+            count = live.get(func, 0) - 1
+            if count < 0:  # pragma: no cover - defensive
+                count = 0
+            live[func] = count
+            if count == 0:
+                blame[func] = ("crash", None)
+
+    # -- introspection -------------------------------------------------
+
+    def live_count(self, func: str) -> int:
+        """Containers of ``func`` the tracker currently believes exist."""
+        return self._live.get(func, 0)
+
+    def blamed(self, func: str) -> Optional[Tuple[str, Optional[int]]]:
+        """The (class, decision_id) that last emptied ``func``'s pool."""
+        return self._blame.get(func)

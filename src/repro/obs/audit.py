@@ -39,8 +39,12 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Union
 __all__ = ["AuditSink", "AuditJsonlSink", "DecisionAudit",
            "RECORD_KINDS", "read_audit_jsonl"]
 
-#: Every record kind a :class:`DecisionAudit` can emit.
-RECORD_KINDS = ("css_scale", "gate_flip", "eviction_decision")
+#: Every record kind a :class:`DecisionAudit` can emit. ``scale_down``
+#: records are minted by the orchestrator for policy-direct evictions
+#: (TTL expiry, keep-alive decay) so cold-start attribution can blame
+#: them by ``decision_id`` like any REPLACE decision.
+RECORD_KINDS = ("css_scale", "gate_flip", "eviction_decision",
+                "scale_down")
 
 
 class AuditSink:
@@ -116,14 +120,38 @@ class DecisionAudit:
         self._sinks.append(sink)
         return sink
 
-    def emit(self, record: Dict) -> None:
-        self.records.append(record)
+    def emit(self, record: Dict) -> int:
+        """Record one decision; returns its stable ``decision_id``.
+
+        Decision ids are assigned monotonically from 0 in emission order
+        — the audit stream's line number — so sidecar files, the
+        in-memory ring and cause stamps (``eviction:<id>``) all agree.
+        The caller's dict is never mutated; the stamped copy is what the
+        ring and the sinks see (``did`` key).
+        """
+        did = self.recorded
+        stamped = dict(record)
+        stamped["did"] = did
+        self.records.append(stamped)
         self.recorded += 1
         for sink in self._sinks:
-            sink.emit(record)
+            sink.emit(stamped)
+        return did
 
     def of_kind(self, kind: str) -> List[Dict]:
         return [r for r in self.records if r.get("kind") == kind]
+
+    def record_by_id(self, did: int) -> Optional[Dict]:
+        """The record with decision id ``did`` still held in the ring.
+
+        O(1) for unbounded audits (ids are ring indexes); on a bounded
+        ring the oldest records rotate out and return ``None``.
+        """
+        dropped = self.recorded - len(self.records)
+        index = did - dropped
+        if 0 <= index < len(self.records):
+            return self.records[index]
+        return None
 
     def close(self) -> None:
         for sink in self._sinks:

@@ -81,8 +81,14 @@ class PolicyContext(Protocol):
     @property
     def now(self) -> float: ...
 
-    def evict(self, container: "Container") -> None:
-        """Reclaim an evictable container immediately."""
+    def evict(self, container: "Container",
+              decision_id: Optional[int] = None) -> None:
+        """Reclaim an evictable container immediately.
+
+        ``decision_id`` ties the eviction to its audited REPLACE decision
+        (base ``make_room`` passes it through); policy-direct calls omit
+        it and the orchestrator mints a ``scale_down`` audit record
+        instead, so every eviction stays attributable."""
 
     def compress(self, container: "Container", mem_fraction: float) -> None:
         """Shrink an idle container to ``mem_fraction`` of its footprint."""
@@ -130,6 +136,16 @@ class OrchestrationPolicy:
     #: bit-identical (pinned by ``tests/obs/test_audit_differential.py``).
     audit = None
     metrics = None
+
+    #: Container ids the base ``make_room`` must never evict. Set only by
+    #: counterfactual replays (:mod:`repro.analysis.attribution`) that
+    #: suppress one audited eviction decision to measure its realized
+    #: regret; ``None`` (the default) takes the unmodified hot path.
+    #: Protecting containers that factually survived up to the pinned
+    #: decision provably leaves every earlier REPLACE decision unchanged
+    #: (a survivor is never in a chosen-victim prefix), so decision ids
+    #: stay aligned between the factual and counterfactual replays.
+    protected_cids = None
 
     def __init__(self) -> None:
         self.ctx: Optional[PolicyContext] = None
@@ -201,6 +217,8 @@ class OrchestrationPolicy:
         assert self.ctx is not None, "policy not bound"
         if worker.free_mb >= need_mb:
             return True
+        if self.protected_cids:
+            return self._make_room_filtered(worker, need_mb, now, for_func)
         if worker.naive:
             return self._make_room_reference(worker, need_mb, now, for_func)
         # O(1) infeasibility check before ranking anything: under a burst
@@ -219,11 +237,12 @@ class OrchestrationPolicy:
             _, _, victim = heapq.heappop(heap)
             chosen.append(victim)
             freed += victim.memory_mb
+        did = None
         if self.audit is not None or self.metrics is not None:
-            self._note_replace(worker, candidates, ranked, chosen, need_mb,
-                               now, for_func)
+            did = self._note_replace(worker, candidates, ranked, chosen,
+                                     need_mb, now, for_func)
         for victim in chosen:
-            self.ctx.evict(victim)
+            self.ctx.evict(victim, decision_id=did)
         return True
 
     def _make_room_reference(self, worker: "Worker", need_mb: float,
@@ -245,18 +264,56 @@ class OrchestrationPolicy:
                 break
         if freed < need_mb:
             return False
+        did = None
         if self.audit is not None or self.metrics is not None:
-            self._note_replace(worker, candidates, priorities, chosen,
-                               need_mb, now, for_func)
+            did = self._note_replace(worker, candidates, priorities, chosen,
+                                     need_mb, now, for_func)
         for victim in chosen:
-            self.ctx.evict(victim)
+            self.ctx.evict(victim, decision_id=did)
+        return True
+
+    def _make_room_filtered(self, worker: "Worker", need_mb: float,
+                            now: float,
+                            for_func: Optional[str] = None) -> bool:
+        """REPLACE with :attr:`protected_cids` excluded from eviction.
+
+        Counterfactual-only slow path shared by both replay modes: rank
+        the unprotected candidates with an explicit
+        ``(priority, container_id)`` sort — the exact victim order of
+        both the heap hot path and the stable reference sort — and
+        re-check feasibility on the filtered pool (the O(1)
+        ``evictable_mb`` precheck would overcount protected memory).
+        """
+        protected = self.protected_cids
+        pool = (worker.evictable() if worker.naive
+                else list(worker.evictable_items()))
+        candidates = [c for c in pool if c.container_id not in protected]
+        if worker.free_mb + sum(c.memory_mb for c in candidates) < need_mb:
+            return False
+        priorities = self.priorities(candidates, now)
+        ranked = sorted(zip(priorities, candidates),
+                        key=lambda pair: (pair[0], pair[1].container_id))
+        freed = worker.free_mb
+        chosen: List["Container"] = []
+        for _, victim in ranked:
+            chosen.append(victim)
+            freed += victim.memory_mb
+            if freed >= need_mb:
+                break
+        did = None
+        if self.audit is not None or self.metrics is not None:
+            did = self._note_replace(worker, candidates, priorities, chosen,
+                                     need_mb, now, for_func)
+        for victim in chosen:
+            self.ctx.evict(victim, decision_id=did)
         return True
 
     def _note_replace(self, worker: "Worker", candidates: List["Container"],
                       priorities: List[float], chosen: List["Container"],
                       need_mb: float, now: float,
-                      for_func: Optional[str]) -> None:
+                      for_func: Optional[str]) -> Optional[int]:
         """Feed metrics/audit for one REPLACE decision (read-only).
+        Returns the audit ``decision_id`` (``None`` with no audit).
 
         Runs *before* the victims are evicted so the Eq. 3 components are
         the values the ranking actually used (eviction updates the running
@@ -272,7 +329,7 @@ class OrchestrationPolicy:
                 "repro_replace_victims_total",
                 "Containers evicted by REPLACE decisions").inc(len(chosen))
         if self.audit is None:
-            return
+            return None
         victims = []
         for victim in chosen:
             entry = {"cid": victim.container_id, "func": victim.spec.name,
@@ -296,7 +353,7 @@ class OrchestrationPolicy:
         }
         if for_func is not None:
             record["for_func"] = for_func
-        self.audit.emit(record)
+        return self.audit.emit(record)
 
     # ------------------------------------------------------------------
     # Cost model

@@ -36,6 +36,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _container_ids = itertools.count()
 
 
+def reserve_container_id() -> int:
+    """Consume and return one id from the process-global counter.
+
+    Counterfactual replays (:mod:`repro.analysis.attribution`) use this
+    to learn where the next run's ids will start: the replay's first
+    container gets the returned value plus one, which lets factual
+    victim ids be rebased onto counterfactual ids before the run exists.
+    """
+    return next(_container_ids)
+
+
 class ContainerState(enum.Enum):
     PROVISIONING = "provisioning"
     IDLE = "idle"

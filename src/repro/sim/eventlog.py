@@ -67,6 +67,45 @@ LIFECYCLE_RANK = {
 }
 
 
+#: The five proximate-cause classes a ``PROVISION_START`` may carry when
+#: causal attribution (:mod:`repro.obs.attribution`) is attached. The
+#: ``eviction`` / ``scale-down`` classes append the responsible audit
+#: ``decision_id`` after a colon (``eviction:17``).
+CAUSE_CLASSES = ("first-invocation", "eviction", "scale-down", "crash",
+                 "capacity-blocked")
+
+
+def split_cause(detail: str) -> tuple:
+    """Split a stamped ``PROVISION_START`` detail into (kind, cause).
+
+    ``"bound cause=eviction:17"`` -> ``("bound", "eviction:17")``;
+    an unstamped detail returns ``(detail, "")``. The stamp grammar is a
+    single appended ``" cause=<label>"`` token, so unattributed runs and
+    attributed runs differ only by this suffix.
+    """
+    kind, sep, cause = detail.partition(" cause=")
+    if sep:
+        return kind, cause
+    return detail, ""
+
+
+def cause_class(cause: str) -> str:
+    """The cause class of a full label (``"eviction:17"`` -> ``"eviction"``)."""
+    return cause.partition(":")[0]
+
+
+def cause_decision_id(cause: str) -> Optional[int]:
+    """The audit ``decision_id`` a cause label blames, or ``None``.
+
+    Only ``eviction:<id>`` / ``scale-down:<id>`` labels carry one (and a
+    ``scale-down`` with no audit attached is minted without an id).
+    """
+    _, sep, did = cause.partition(":")
+    if sep and did:
+        return int(did)
+    return None
+
+
 @dataclass(frozen=True)
 class Event:
     """One control-plane event."""
@@ -175,6 +214,32 @@ class EventLog:
         merged = sorted(mine + related,
                         key=lambda e: (e.time_ms, LIFECYCLE_RANK[e.kind]))
         return merged
+
+    def cold_start_of(self, req_id: int) -> Optional[Event]:
+        """The ``PROVISION_START`` behind one request's cold start.
+
+        Returns the provisioning event of the container that served
+        ``req_id`` when the request cold-started (its ``detail`` carries
+        the cause stamp under attribution), or ``None`` for warm/delayed
+        starts and unknown requests. Restores (CodeCrunch) are not
+        provision events and return ``None``.
+        """
+        serving_cid = None
+        for e in self.events:
+            if (e.kind is EventKind.EXEC_START and e.req_id == req_id
+                    and e.detail == "cold"):
+                serving_cid = e.container_id
+                break
+        if serving_cid is None:
+            return None
+        provision = None
+        for e in self.events:
+            if (e.kind is EventKind.PROVISION_START
+                    and e.container_id == serving_cid):
+                provision = e  # last one before exec wins (restores aside)
+            elif (e.kind is EventKind.EXEC_START and e.req_id == req_id):
+                break
+        return provision
 
     def render(self, events: Optional[Iterable[Event]] = None) -> str:
         """Human-readable dump (of a query result or everything)."""

@@ -131,7 +131,8 @@ class Orchestrator:
                  policy: OrchestrationPolicy,
                  config: Optional[SimulationConfig] = None,
                  event_log: Optional["EventLog"] = None,
-                 recorder=None, audit=None, metrics=None):
+                 recorder=None, audit=None, metrics=None,
+                 attribution=None):
         self.config = config or SimulationConfig()
         self.policy = policy
         #: Seeded RNG for stochastic policies (``ctx.rng``). The core
@@ -155,6 +156,13 @@ class Orchestrator:
         #: (pinned by ``tests/obs/test_audit_differential.py``).
         self.audit = audit
         self.metrics_registry = metrics
+        #: Optional :class:`repro.obs.attribution.CauseTracker`. Stamps
+        #: every PROVISION_START detail with its proximate cause
+        #: (``first-invocation`` / ``eviction:<id>`` / ...). Read-only
+        #: beyond that one detail suffix: attribution-off runs are
+        #: byte-identical to a build without the tracker (pinned by
+        #: ``tests/obs/test_attribution_differential.py``).
+        self.attribution = attribution
         self._m_requests = self._m_starts = self._m_decisions = None
         self._m_evictions = self._m_provisions = self._m_blocked = None
         self._m_wait = self._m_used = None
@@ -339,11 +347,30 @@ class Orchestrator:
                 return self.sim.now - waiter.request.arrival_ms
         return 0.0
 
-    def evict(self, container: Container) -> None:
-        """Reclaim an evictable container (policy-triggered or REPLACE)."""
+    def evict(self, container: Container,
+              decision_id: Optional[int] = None) -> None:
+        """Reclaim an evictable container (policy-triggered or REPLACE).
+
+        ``decision_id`` carries the audited REPLACE decision the eviction
+        belongs to (``make_room`` passes it through). Policy-direct
+        evictions — TTL expiry, keep-alive decay, prewarm reclaim — come
+        in without one; when an audit is attached the orchestrator mints
+        a ``scale_down`` record so attribution can blame them too.
+        """
         worker = container.worker
         if worker is None:
             return
+        cause_kind = "eviction" if decision_id is not None else "scale-down"
+        if decision_id is None and self.audit is not None:
+            decision_id = self.audit.emit({
+                "kind": "scale_down",
+                "t": self.sim.now,
+                "wid": worker.worker_id,
+                "cid": container.container_id,
+                "func": container.spec.name,
+                "mem_mb": container.memory_mb,
+                "idle_ms": self.sim.now - container.last_idle_ms,
+            })
         if container.speculative and not container.served_any:
             self.metrics.wasted_cold_starts += 1
         worker.remove(container)
@@ -353,6 +380,9 @@ class Orchestrator:
         self.metrics.evictions += 1
         if self._m_evictions is not None:
             self._m_evictions.labels(func=container.spec.name).inc()
+        if self.attribution is not None:
+            self.attribution.note_removal(container.spec.name, cause_kind,
+                                          decision_id)
         self._log(EventKind.EVICTION, container.spec.name,
                   container_id=container.container_id,
                   worker_id=worker.worker_id)
@@ -610,6 +640,8 @@ class Orchestrator:
             self.sim.at(restart_at, self._on_worker_restart, worker)
         victims = worker.crash()
         self.metrics.crash_destroyed += len(victims)
+        if self.attribution is not None:
+            self.attribution.note_crash(c.spec.name for c in victims)
         orphans: List[Request] = []
         rebind: List[_Waiter] = []
         for container in victims:
@@ -790,8 +822,12 @@ class Orchestrator:
         self.metrics.provisioned_mb += container.memory_mb
         kind = "prewarm" if prewarm \
             else ("speculative" if speculative else "bound")
+        detail = kind
+        if self.attribution is not None:
+            cause = self.attribution.begin_provision(spec.name)
+            detail = f"{kind} cause={cause}"
         self._log(EventKind.PROVISION_START, spec.name,
-                  container_id=container.container_id, detail=kind,
+                  container_id=container.container_id, detail=detail,
                   worker_id=worker.worker_id)
         if self._m_provisions is not None:
             self._m_provisions.labels(kind=kind).inc()

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.sim.eventlog import Event, EventKind
+from repro.sim.eventlog import Event, EventKind, split_cause
 
 __all__ = [
     "EventSink", "RingSink", "JsonlSink", "SpanBuilder", "RequestSpan",
@@ -201,6 +201,10 @@ class RequestSpan:
     #: CPU-contention model; None when the run had no contention or the
     #: execution never ran slowed.
     slowdown: Optional[float] = None
+    #: Proximate cold-start cause (``eviction:<did>``, ``crash``, ...)
+    #: parsed off the provision stamp; empty for warm starts or runs
+    #: without attribution attached.
+    cause: str = ""
 
     @property
     def completed(self) -> bool:
@@ -284,6 +288,7 @@ class SpanBuilder(EventSink):
                     window = track.provisions[-1]
                     span.provision_start_ms = window.start_ms
                     span.provision_ready_ms = window.ready_ms
+                    span.cause = split_cause(window.detail)[1]
         elif kind is EventKind.EXEC_END:
             span = self._open.pop(event.req_id, None)
             if span is not None:
@@ -326,13 +331,21 @@ def _us(ms: float) -> float:
     return ms * 1000.0
 
 
-def chrome_trace(source: Union[SpanBuilder, Iterable[Event]]) -> dict:
+def chrome_trace(source: Union[SpanBuilder, Iterable[Event]],
+                 instants: Iterable[dict] = ()) -> dict:
     """Export spans as Chrome ``trace_event`` JSON (Perfetto-loadable).
 
     Layout: one *process* per worker whose *threads* are its containers
     (provision and exec slices, eviction instants), plus one process per
     function carrying its request spans as async events (they overlap,
-    which synchronous slices cannot).
+    which synchronous slices cannot). Attributed runs carry the
+    cold-start ``cause`` stamp as an arg on provision slices and cold
+    request spans.
+
+    ``instants`` adds caller-supplied global markers — dicts with
+    ``time_ms`` and ``name`` plus optional ``args`` — e.g. the
+    high-regret eviction markers from
+    :func:`repro.analysis.attribution.regret_instants`.
     """
     if isinstance(source, SpanBuilder):
         builder = source
@@ -361,12 +374,16 @@ def chrome_trace(source: Union[SpanBuilder, Iterable[Event]]) -> dict:
         for window in track.provisions:
             ready = (window.ready_ms if window.ready_ms is not None
                      else window.start_ms)
+            detail, cause = split_cause(window.detail)
+            window_args = {"detail": detail}
+            if cause:
+                window_args["cause"] = cause
             events.append({
                 "ph": "X", "pid": pid, "tid": tid, "cat": "provision",
                 "name": f"provision {track.func}",
                 "ts": _us(window.start_ms),
                 "dur": _us(max(ready - window.start_ms, 0.0)),
-                "args": {"detail": window.detail},
+                "args": window_args,
             })
         if track.evicted_ms is not None:
             events.append({"ph": "i", "pid": pid, "tid": tid,
@@ -404,11 +421,22 @@ def chrome_trace(source: Union[SpanBuilder, Iterable[Event]]) -> dict:
         begin_args = {"wait_ms": span.wait_ms,
                       "exec_ms": span.exec_ms,
                       "container": span.container_id}
+        if span.cause:
+            begin_args["cause"] = span.cause
         if span.orphans:
             begin_args["orphans"] = span.orphans
         events.append({**common, "ph": "b", "ts": _us(span.arrival_ms),
                        "args": begin_args})
         events.append({**common, "ph": "e", "ts": _us(span.exec_end_ms)})
+
+    # Caller-supplied global markers (e.g. high-regret evictions).
+    for marker in instants:
+        instant = {"ph": "i", "pid": worker_pid(marker.get("worker_id")),
+                   "tid": 0, "cat": "outcome", "name": marker["name"],
+                   "ts": _us(marker["time_ms"]), "s": "p"}
+        if marker.get("args"):
+            instant["args"] = dict(marker["args"])
+        events.append(instant)
 
     meta: List[dict] = []
     for pid in sorted(worker_pids):
@@ -421,9 +449,10 @@ def chrome_trace(source: Union[SpanBuilder, Iterable[Event]]) -> dict:
 
 
 def write_chrome_trace(path: Union[str, Path],
-                       source: Union[SpanBuilder, Iterable[Event]]) -> dict:
+                       source: Union[SpanBuilder, Iterable[Event]],
+                       instants: Iterable[dict] = ()) -> dict:
     """Serialize :func:`chrome_trace` of ``source`` to ``path``."""
-    trace = chrome_trace(source)
+    trace = chrome_trace(source, instants=instants)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w") as fh:

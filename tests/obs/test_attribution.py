@@ -1,0 +1,189 @@
+"""Exact-timeline tests for cause stamping, one scenario per label.
+
+Each scenario is hand-built against a 1-2 worker cluster with
+``dispatch="single"`` so the provision being stamped — and the removal
+it blames — can be pointed at by the millisecond. A second half tests
+:class:`repro.obs.CauseTracker` as pure bookkeeping, with no simulator
+in the loop.
+"""
+
+from repro.obs import CAUSE_CLASSES, CauseTracker, DecisionAudit
+from repro.policies.lru import LRUPolicy
+from repro.policies.ttl import TTLPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.eventlog import (EventKind, EventLog, cause_class,
+                                cause_decision_id, split_cause)
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.sim.function import FunctionSpec
+from repro.sim.orchestrator import Orchestrator
+from repro.sim.request import Request
+
+
+def run_attributed(functions, requests, policy=None, capacity_gb=1.0,
+                   workers=1, **config_kwargs):
+    log = EventLog()
+    audit = DecisionAudit()
+    tracker = CauseTracker()
+    cfg = SimulationConfig(capacity_gb=capacity_gb, workers=workers,
+                           dispatch="single", **config_kwargs)
+    orch = Orchestrator(list(functions), policy or LRUPolicy(), cfg,
+                        event_log=log, audit=audit, attribution=tracker)
+    result = orch.run(list(requests))
+    return result, log, audit, tracker
+
+
+def provision_causes(log):
+    """[(time_ms, func, cause)] for every PROVISION_START, in order."""
+    return [(e.time_ms, e.func, split_cause(e.detail)[1])
+            for e in log if e.kind is EventKind.PROVISION_START]
+
+
+FN = FunctionSpec("fn", memory_mb=100.0, cold_start_ms=500.0)
+
+
+class TestCauseTimelines:
+    def test_first_invocation(self):
+        _, log, _, tracker = run_attributed(
+            [FN], [Request("fn", 0.0, 100.0)])
+        assert provision_causes(log) == [(0.0, "fn", "first-invocation")]
+        assert tracker.stamped == {"first-invocation": 1}
+
+    def test_capacity_blocked(self):
+        # The second request lands while fn's only container is still
+        # provisioning: a container exists, so the extra cold start is a
+        # concurrency shortfall, not a removal.
+        _, log, _, tracker = run_attributed(
+            [FN], [Request("fn", 0.0, 100.0), Request("fn", 10.0, 100.0)])
+        assert provision_causes(log) == [
+            (0.0, "fn", "first-invocation"),
+            (10.0, "fn", "capacity-blocked")]
+        assert tracker.blamed("fn") is None
+
+    def test_eviction_blames_the_replace_decision(self):
+        # Two 700 MB functions on a 1 GB worker: provisioning "b" at
+        # t=5000 must evict "a"'s idle container (one eviction_decision
+        # record), and "a"'s re-provision at t=10000 blames exactly it.
+        fns = [FunctionSpec("a", memory_mb=700.0, cold_start_ms=500.0),
+               FunctionSpec("b", memory_mb=700.0, cold_start_ms=500.0)]
+        reqs = [Request("a", 0.0, 100.0), Request("b", 5_000.0, 100.0),
+                Request("a", 10_000.0, 100.0)]
+        _, log, audit, tracker = run_attributed(fns, reqs)
+
+        records = audit.of_kind("eviction_decision")
+        # Two REPLACE decisions: b's provision evicts "a", then "a"'s
+        # own re-provision evicts "b" right back.
+        assert [r["for_func"] for r in records] == ["b", "a"]
+        did = records[0]["did"]
+        assert records[0]["victims"][0]["func"] == "a"
+        assert provision_causes(log) == [
+            (0.0, "a", "first-invocation"),
+            (5_000.0, "b", "first-invocation"),
+            (10_000.0, "a", f"eviction:{did}")]
+        assert tracker.blamed("a") == ("eviction", did)
+
+    def test_scale_down_blames_the_ttl_expiry(self):
+        # TTL(2s) reclaims fn's container after its idle lifespan; the
+        # orchestrator mints a scale_down record on the spot and the
+        # re-provision at t=30000 blames it.
+        _, log, audit, tracker = run_attributed(
+            [FN], [Request("fn", 0.0, 100.0), Request("fn", 30_000.0, 100.0)],
+            policy=TTLPolicy(ttl_ms=2_000.0))
+
+        records = audit.of_kind("scale_down")
+        assert len(records) == 1
+        record = records[0]
+        assert record["func"] == "fn"
+        # Idle since exec end at t=600 (500 cold + 100 exec); expiry on
+        # the first maintenance scan past 600 + 2000.
+        assert record["t"] >= 2_600.0
+        assert record["idle_ms"] >= 2_000.0
+        assert provision_causes(log) == [
+            (0.0, "fn", "first-invocation"),
+            (30_000.0, "fn", f"scale-down:{record['did']}")]
+        assert tracker.blamed("fn") == ("scale-down", record["did"])
+
+    def test_crash_blames_the_fault(self):
+        # Worker 0 crashes at t=2000 holding fn's only (idle) container;
+        # the re-provision at t=5000 has no decision to blame — only the
+        # fault plan.
+        plan = FaultPlan(crashes=(
+            CrashSpec(worker_id=0, at_ms=2_000.0,
+                      restart_delay_ms=500.0),))
+        _, log, _, tracker = run_attributed(
+            [FN], [Request("fn", 0.0, 100.0), Request("fn", 5_000.0, 100.0)],
+            workers=2, faults=plan)
+        assert provision_causes(log) == [
+            (0.0, "fn", "first-invocation"),
+            (5_000.0, "fn", "crash")]
+        assert tracker.blamed("fn") == ("crash", None)
+
+    def test_every_label_has_a_registered_class(self):
+        for label in ("first-invocation", "capacity-blocked", "crash",
+                      "eviction:12", "scale-down:3"):
+            assert cause_class(label) in CAUSE_CLASSES
+
+
+class TestCauseTrackerLogic:
+    def test_first_provision_and_burst(self):
+        tracker = CauseTracker()
+        assert tracker.begin_provision("f") == "first-invocation"
+        # The pool is non-empty now: parallel provisions are blocked on
+        # capacity, not on any removal.
+        assert tracker.begin_provision("f") == "capacity-blocked"
+        assert tracker.live_count("f") == 2
+
+    def test_eviction_blame_is_charged_once(self):
+        tracker = CauseTracker()
+        tracker.begin_provision("f")
+        tracker.note_removal("f", "eviction", 7)
+        assert tracker.live_count("f") == 0
+        assert tracker.blamed("f") == ("eviction", 7)
+        assert tracker.begin_provision("f") == "eviction:7"
+        # Only the removed container could have absorbed one provision.
+        assert tracker.begin_provision("f") == "capacity-blocked"
+
+    def test_removal_above_zero_leaves_no_blame(self):
+        tracker = CauseTracker()
+        tracker.begin_provision("f")
+        tracker.begin_provision("f")
+        tracker.note_removal("f", "eviction", 3)
+        assert tracker.live_count("f") == 1
+        assert tracker.blamed("f") is None
+
+    def test_later_removal_overwrites_blame(self):
+        tracker = CauseTracker()
+        tracker.begin_provision("f")
+        tracker.note_removal("f", "eviction", 1)
+        tracker.begin_provision("f")
+        tracker.note_removal("f", "scale-down", 9)
+        assert tracker.begin_provision("f") == "scale-down:9"
+
+    def test_scale_down_without_audit_has_no_id(self):
+        tracker = CauseTracker()
+        tracker.begin_provision("f")
+        tracker.note_removal("f", "scale-down", None)
+        label = tracker.begin_provision("f")
+        assert label == "scale-down"
+        assert cause_decision_id(label) is None
+
+    def test_crash_kills_whole_pools(self):
+        tracker = CauseTracker()
+        for _ in range(2):
+            tracker.begin_provision("f")
+        tracker.begin_provision("g")
+        tracker.note_crash(["f", "f", "g"])
+        assert tracker.live_count("f") == 0
+        assert tracker.blamed("f") == ("crash", None)
+        assert tracker.blamed("g") == ("crash", None)
+        assert tracker.begin_provision("g") == "crash"
+
+    def test_stamped_counts_by_class(self):
+        tracker = CauseTracker()
+        tracker.begin_provision("f")
+        tracker.begin_provision("f")
+        tracker.note_removal("f", "eviction", 0)
+        tracker.note_removal("f", "eviction", 1)
+        tracker.begin_provision("f")
+        assert tracker.stamped == {"first-invocation": 1,
+                                   "capacity-blocked": 1,
+                                   "eviction": 1}
