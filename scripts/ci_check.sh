@@ -24,6 +24,30 @@ echo "== repro-lint (determinism / purity / FP-discipline) =="
 python -m repro.lint src/repro
 python -m repro.lint src/repro --format json > /dev/null
 
+echo "== repro-lint --deep (shard safety / transitive purity / units) =="
+# Whole-program pass, gated on its own committed baseline
+# (lint-deep-baseline.json). Every cross-worker access must carry a
+# `# shard:` annotation or a reasoned baseline entry; the inventory is
+# written as a CI artifact for the sharded-engine work (ROADMAP item 2).
+python -m repro.lint --deep src/repro --shard-report shard-report.json
+python - <<'EOF'
+import json
+
+report = json.load(open("shard-report.json"))
+sites = report["sites"]
+cross = [s for s in sites if s["ownership"] == "cross-worker"]
+assert cross, "shard report is vacuous: no cross-worker sites at all"
+assert report["summary"]["unannotated_cross_worker"] == 0, \
+    "unannotated cross-worker accesses slipped past the lint gate"
+functions = {s["function"] for s in cross}
+for expected in ("Orchestrator._dispatch", "Orchestrator._sample_memory",
+                 "Worker._charge"):
+    assert any(f.endswith(expected) for f in functions), \
+        f"known cross-worker site missing from inventory: {expected}"
+print(f"shard inventory OK: {len(sites)} sites "
+      f"({len(cross)} cross-worker), placement + cluster-memory covered")
+EOF
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

@@ -11,18 +11,25 @@ checkable rules:
   unordered iterables in accounting code);
 * ``API0xx`` — unit hygiene (``_ms`` vs ``_s``, ``_mb`` vs ``_gb``).
 
+Under ``--deep`` the whole-program layer (:mod:`repro.lint.deep`)
+additionally runs shard-safety (``SHD0xx``), transitive observer
+purity (``PUR003``) and cross-function dimension inference
+(``API002``) over a project-wide symbol table and call graph.
+
 Run it with ``python -m repro.lint [paths]``, the ``repro-lint``
 console script, or ``cidre-sim lint``. See
-``docs/ARCHITECTURE.md`` ("Static analysis and the sim-sanitizer").
+``docs/ARCHITECTURE.md`` ("Static analysis and the sim-sanitizer" and
+"Whole-program analysis and shard safety").
 """
 
 from repro.lint.engine import (LintReport, lint_paths, lint_source,
-                               load_baseline, write_baseline)
+                               load_baseline, update_baseline_file,
+                               write_baseline)
 from repro.lint.findings import Finding
 from repro.lint.rules import Checker, Rule, all_rules, register
 
 __all__ = [
     "Checker", "Finding", "LintReport", "Rule", "all_rules",
     "lint_paths", "lint_source", "load_baseline", "register",
-    "write_baseline",
+    "update_baseline_file", "write_baseline",
 ]

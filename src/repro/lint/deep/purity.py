@@ -1,0 +1,266 @@
+"""PUR003 — transitive (call-graph-propagated) observer purity.
+
+The file-local ``PUR001``/``PUR002`` catch an observer that *directly*
+writes through a sim-owned parameter. They are blind to indirection: a
+probe callback that hands the orchestrator to a helper in another
+module, where the helper does the writing, passes the classic rules —
+the helper's own writes are either outside the observer scopes or
+rooted at a parameter the local rule cannot know is sim-owned at *this*
+call site.
+
+This analysis closes that hole with per-function **mutation
+summaries** propagated to a fixpoint over the call graph:
+
+1. For every indexed function, compute the set of its parameters that
+   the body may mutate *directly* — an attribute/subscript write or
+   delete rooted at the parameter, or a call of a known mutating
+   method (``MUTATING_METHODS`` from the classic rule) on a receiver
+   rooted at it. ``self`` is a parameter like any other, so a method
+   that writes ``self._x`` has summary ``{self}``.
+2. Propagate transitively: at each resolved call site, bind arguments
+   to callee parameters (receiver binds to the callee's ``self``); an
+   argument rooted at caller parameter ``q`` that binds to a mutated
+   callee parameter marks ``q`` mutated in the caller. Iterate until
+   stable.
+3. Report: inside the observer scopes only, re-run the classic taint
+   model (every parameter except ``self``/``cls`` is sim-owned, locals
+   rooted at tainted names inherit taint) and flag each call site that
+   passes a sim-owned value into a mutated parameter of the resolved
+   callee — wherever that callee lives.
+
+Writes to the sanitizer's observational-purity allowlist
+(:data:`ALLOWED_WRITE_ATTRS`, mirroring
+``repro.sim.sanitizer._ALLOWED_WRITES``) do not count as mutations —
+the lazy evictable-memory caches are bit-identity-safe by design, and
+the static and dynamic tools must agree on that. A test cross-checks
+the two lists.
+
+Findings carry a *witness chain* (``calls `helper()` → writes
+`orch._pending```) so the fix is obvious without re-running the
+analysis by hand.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.checks_purity import MUTATING_METHODS
+from repro.lint.deep.callgraph import CallGraph, CallSite, bind_arguments
+from repro.lint.deep.symbols import FunctionInfo, attr_chain
+from repro.lint.findings import Finding
+
+#: Attribute writes that are observationally pure (mirrors
+#: ``repro.sim.sanitizer._ALLOWED_WRITES``; cross-checked by tests).
+ALLOWED_WRITE_ATTRS = frozenset({
+    "_evictable_mb_cache",
+    "_evictable_mb_gen",
+})
+
+#: Observer scopes (``repro/`` stripped) — where purity is required.
+PURITY_SCOPES = ("obs/", "sim/telemetry.py")
+
+#: Fixpoint safety valve; the call graph is shallow in practice.
+_MAX_ROUNDS = 50
+
+
+# ======================================================================
+# Per-function direct mutations
+
+
+def _param_aliases(func: FunctionInfo) -> Dict[str, str]:
+    """local name -> parameter it roots at (single lexical pass)."""
+    aliases: Dict[str, str] = {p: p for p in func.params}
+    for node in ast.walk(func.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        chain = attr_chain(node.value)
+        if chain and chain[0] in aliases \
+                and target.id not in func.params:
+            aliases[target.id] = aliases[chain[0]]
+    return aliases
+
+
+def _rooted_param(node: ast.AST, aliases: Dict[str, str]
+                  ) -> Optional[str]:
+    """The parameter an expression is rooted at, unwinding subscripts
+    and zero-effect calls down the chain head."""
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    chain = attr_chain(node)
+    if chain is None:
+        return None
+    return aliases.get(chain[0])
+
+
+def direct_mutations(func: FunctionInfo) -> Dict[str, str]:
+    """param -> witness for mutations the body performs itself."""
+    aliases = _param_aliases(func)
+    out: Dict[str, str] = {}
+
+    def note(param: Optional[str], witness: str) -> None:
+        if param is not None and param not in out:
+            out[param] = witness
+
+    def check_write(target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                check_write(elt)
+            return
+        if isinstance(target, ast.Attribute):
+            if target.attr in ALLOWED_WRITE_ATTRS:
+                return
+            chain = attr_chain(target)
+            note(_rooted_param(target.value, aliases),
+                 f"writes `{'.'.join(chain) if chain else target.attr}`")
+        elif isinstance(target, ast.Subscript):
+            param = _rooted_param(target.value, aliases)
+            chain = attr_chain(target.value)
+            note(param, f"writes "
+                        f"`{'.'.join(chain) if chain else param}[...]`")
+
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                check_write(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            check_write(node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                check_write(target)
+        elif isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain and len(chain) >= 2 \
+                    and chain[-1] in MUTATING_METHODS:
+                recv = node.func
+                assert isinstance(recv, ast.Attribute)
+                note(_rooted_param(recv.value, aliases),
+                     f"calls `{'.'.join(chain)}()`")
+    return out
+
+
+# ======================================================================
+# Transitive summaries
+
+
+class PuritySummaries:
+    """Fixpoint mutation summaries for every function in the graph."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        #: qualname -> {param -> witness chain}.
+        self.mutations: Dict[str, Dict[str, str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        funcs = self.graph.project.functions
+        for func in funcs.values():
+            self.mutations[func.qualname] = direct_mutations(func)
+        aliases = {q: _param_aliases(f) for q, f in funcs.items()}
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for func in funcs.values():
+                table = self.mutations[func.qualname]
+                for site in self.graph.callees(func):
+                    for param, witness in self._flow(
+                            site, aliases[func.qualname]):
+                        if param not in table:
+                            table[param] = witness
+                            changed = True
+            if not changed:
+                break
+
+    def _flow(self, site: CallSite, aliases: Dict[str, str]):
+        """(caller_param, witness) pairs this call site induces."""
+        callee = site.callee
+        callee_mut = self.mutations.get(callee.qualname, {})
+        if not callee_mut:
+            return
+        node = site.node
+        # Receiver -> callee self.
+        if site.via in ("method", "virtual", "init") \
+                and isinstance(node.func, ast.Attribute) \
+                and "self" in callee_mut:
+            param = _rooted_param(node.func.value, aliases)
+            if param is not None:
+                yield param, (f"calls `{callee.name}()` → "
+                              f"{callee_mut['self']}")
+        if site.via == "super" and "self" in callee_mut:
+            yield "self", (f"calls `super().{callee.name}()` → "
+                           f"{callee_mut['self']}")
+        # Arguments -> callee params.
+        for callee_param, arg in bind_arguments(
+                node, callee, skip_self=site.via != "direct"):
+            witness = callee_mut.get(callee_param)
+            if witness is None:
+                continue
+            param = _rooted_param(arg, aliases)
+            if param is not None:
+                yield param, f"calls `{callee.name}()` → {witness}"
+
+    def mutated_params(self, func: FunctionInfo) -> Dict[str, str]:
+        return self.mutations.get(func.qualname, {})
+
+
+# ======================================================================
+# Findings
+
+
+def _in_purity_scope(relpath: str) -> bool:
+    scope_path = relpath[len("repro/"):] \
+        if relpath.startswith("repro/") else relpath
+    return any(scope_path == s or scope_path.startswith(s)
+               for s in PURITY_SCOPES)
+
+
+def purity_findings(graph: CallGraph) -> List[Finding]:
+    """PUR003 findings across the project's observer scopes."""
+    summaries = PuritySummaries(graph)
+    findings: List[Finding] = []
+    for func in graph.project.functions.values():
+        if not _in_purity_scope(func.relpath):
+            continue
+        aliases = _param_aliases(func)
+        # Classic taint: every param except self/cls is sim-owned.
+        owned = {p for p in func.params if p not in ("self", "cls")}
+        for site in graph.callees(func):
+            callee = site.callee
+            callee_mut = summaries.mutated_params(callee)
+            if not callee_mut:
+                continue
+            node = site.node
+            hits: List[str] = []
+            if site.via in ("method", "virtual", "init") \
+                    and isinstance(node.func, ast.Attribute) \
+                    and "self" in callee_mut:
+                method = node.func.attr
+                param = _rooted_param(node.func.value, aliases)
+                # PUR002 already covers known mutating method names.
+                if (param in owned and aliases.get(param) in owned
+                        and method not in MUTATING_METHODS):
+                    hits.append(f"receiver `{param}`: "
+                                f"{callee_mut['self']}")
+            for callee_param, arg in bind_arguments(
+                    node, callee, skip_self=site.via != "direct"):
+                witness = callee_mut.get(callee_param)
+                if witness is None:
+                    continue
+                param = _rooted_param(arg, aliases)
+                if param in owned:
+                    hits.append(f"argument `{param}` → parameter "
+                                f"`{callee_param}`: {witness}")
+            if not hits:
+                continue
+            module = func.module
+            findings.append(Finding(
+                rule="PUR003", severity="error", path=func.relpath,
+                line=node.lineno, col=node.col_offset,
+                message=f"observer passes sim-owned state into "
+                        f"`{callee.qualname}`, which mutates it "
+                        f"({'; '.join(hits)})",
+                line_text=module.line_text(node.lineno)))
+    findings.sort(key=Finding.sort_key)
+    return findings

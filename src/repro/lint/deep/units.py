@@ -1,0 +1,235 @@
+"""API002 — dimension inference across assignments, returns and calls.
+
+The classic ``API001`` only sees unit suffixes that appear *inside one
+expression*: ``delay_ms + timeout_s`` is caught, but assign either
+operand to an unsuffixed temporary first and the rule goes blind. This
+analysis propagates unit tags through the dataflow the file-local rule
+cannot see:
+
+* **assignments** — ``budget = self.keepalive_ms`` tags ``budget`` as
+  milliseconds for the rest of the function;
+* **returns** — a function's return unit is summarized (from its name
+  suffix if it has one, else from agreeing return expressions) and
+  flows to its call sites, so ``x = window.horizon_ms() ; x + cost_s``
+  is caught;
+* **call-argument bindings** — passing a seconds-tagged value to a
+  parameter named ``*_ms`` is flagged even though no single expression
+  mixes the two.
+
+Unlike ``API001`` (which only distinguishes *dimensions*, time vs
+memory), the deep rule tracks the concrete scale tag (``ms`` vs ``s``
+vs ``mb``): across a call boundary there is no visible expression a
+reader could spot the conversion in, so same-dimension scale mixing is
+exactly the bug class this rule exists for. Multiplicative expressions
+launder units (``value_s * 1000.0`` is an explicit conversion), which
+keeps intentional conversions silent, exactly as in ``API001``.
+
+To avoid double reports, an expression pair that the classic rule
+already flags (both operands carry *syntactic* suffixes) is skipped
+here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lint.checks_units import _operand_name, unit_of
+from repro.lint.deep.callgraph import CallGraph, bind_arguments
+from repro.lint.deep.symbols import FunctionInfo, attr_chain
+from repro.lint.findings import Finding
+
+#: Normalized scale tags: suffix aliases collapse to one canonical tag.
+_CANON = {"sec": "s", "secs": "s"}
+
+_MAX_ROUNDS = 20
+
+
+def _tag(name: Optional[str]) -> Optional[str]:
+    unit = unit_of(name)
+    return _CANON.get(unit, unit) if unit else None
+
+
+# ======================================================================
+# Return-unit summaries
+
+
+class ReturnUnits:
+    """Fixpoint map: function qualname -> canonical unit tag or None."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.units: Dict[str, Optional[str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        funcs = self.graph.project.functions
+        # Seed: the function's own name suffix is authoritative.
+        for qualname, func in funcs.items():
+            self.units[qualname] = _tag(func.name)
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for qualname, func in funcs.items():
+                if self.units[qualname] is not None:
+                    continue
+                inferred = self._infer_returns(func)
+                if inferred is not None:
+                    self.units[qualname] = inferred
+                    changed = True
+            if not changed:
+                break
+
+    def _infer_returns(self, func: FunctionInfo) -> Optional[str]:
+        env = _UnitEnv(func, self)
+        env.scan_body()
+        tags = set()
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if isinstance(node.value, ast.Constant):
+                    continue  # literal zeros carry no unit
+                tags.add(env.infer(node.value))
+        tags.discard(None)
+        return tags.pop() if len(tags) == 1 else None
+
+
+# ======================================================================
+# Per-function environment
+
+
+class _UnitEnv:
+    """Tracks inferred unit tags of locals inside one function."""
+
+    def __init__(self, func: FunctionInfo, returns: ReturnUnits):
+        self.func = func
+        self.returns = returns
+        self.locals: Dict[str, str] = {}
+        for param in func.params:
+            tag = _tag(param)
+            if tag is not None:
+                self.locals[param] = tag
+
+    def scan_body(self) -> None:
+        """One lexical pass tagging locals from their assignments."""
+        for node in ast.walk(self.func.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                own = _tag(name)
+                if own is not None:
+                    continue  # suffixed names speak for themselves
+                tag = self.infer(node.value)
+                if tag is not None:
+                    self.locals.setdefault(name, tag)
+
+    # -- expression inference ------------------------------------------
+
+    def infer(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.locals.get(node.id) or _tag(node.id)
+        if isinstance(node, ast.Attribute):
+            return _tag(node.attr)
+        if isinstance(node, ast.Call):
+            resolved = self._resolve(node)
+            if resolved is not None:
+                return self.returns.units.get(resolved.qualname)
+            chain = attr_chain(node.func)
+            return _tag(chain[-1]) if chain else None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self.infer(node.left)
+                right = self.infer(node.right)
+                if left == right:
+                    return left
+                return left if right is None else \
+                    (right if left is None else None)
+            return None  # * and / convert; result unit is unknown
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, (ast.UnaryOp,)):
+            return self.infer(node.operand)
+        return None
+
+    def _resolve(self, node: ast.Call) -> Optional[FunctionInfo]:
+        graph = self.returns.graph
+        for site in graph.callees(self.func):
+            if site.node is node:
+                return site.callee
+        return None
+
+
+# ======================================================================
+# Findings
+
+
+def units_findings(graph: CallGraph) -> List[Finding]:
+    """API002 findings for every function in the project."""
+    returns = ReturnUnits(graph)
+    findings: List[Finding] = []
+    for func in graph.project.functions.values():
+        env = _UnitEnv(func, returns)
+        env.scan_body()
+        module = func.module
+
+        def report(node: ast.AST, message: str) -> None:
+            findings.append(Finding(
+                rule="API002", severity="error", path=func.relpath,
+                line=node.lineno, col=node.col_offset,
+                message=message,
+                line_text=module.line_text(node.lineno)))
+
+        def check_pair(node: ast.AST, left: ast.AST, right: ast.AST,
+                       what: str) -> None:
+            # Skip pairs the classic syntactic rule already covers.
+            if unit_of(_operand_name(left)) is not None \
+                    and unit_of(_operand_name(right)) is not None:
+                return
+            lu, ru = env.infer(left), env.infer(right)
+            if lu is not None and ru is not None and lu != ru:
+                report(node, f"{what} mixes inferred units `_{lu}` "
+                             f"and `_{ru}` (propagated through "
+                             f"assignments/returns) without an "
+                             f"explicit conversion")
+
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                check_pair(node, node.left, node.right,
+                           "additive expression")
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, (ast.Lt, ast.LtE, ast.Gt,
+                                       ast.GtE, ast.Eq, ast.NotEq)):
+                        check_pair(node, left, comparator,
+                                   "comparison")
+                    left = comparator
+            elif isinstance(node, ast.Return) and node.value is not None:
+                declared = _tag(func.name)
+                if declared is None \
+                        or isinstance(node.value, ast.Constant):
+                    continue
+                actual = env.infer(node.value)
+                if actual is not None and actual != declared:
+                    report(node, f"function `{func.name}` declares "
+                                 f"unit `_{declared}` but returns an "
+                                 f"expression inferred as `_{actual}`")
+
+        # Call-argument bindings.
+        for site in graph.callees(func):
+            callee = site.callee
+            for callee_param, arg in bind_arguments(
+                    site.node, callee, skip_self=site.via != "direct"):
+                declared = _tag(callee_param)
+                if declared is None:
+                    continue
+                actual = env.infer(arg)
+                if actual is not None and actual != declared:
+                    report(arg, f"argument inferred as `_{actual}` "
+                                f"bound to parameter "
+                                f"`{callee_param}` of "
+                                f"`{callee.qualname}` (expects "
+                                f"`_{declared}`)")
+    findings.sort(key=Finding.sort_key)
+    return findings

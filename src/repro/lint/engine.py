@@ -159,6 +159,77 @@ def write_baseline(path: Union[str, Path], findings: Sequence[Finding],
                           + "\n")
 
 
+def update_baseline_file(path: Union[str, Path],
+                         findings: Sequence[Finding],
+                         linted_files: Sequence[Union[str, Path]]
+                         ) -> Tuple[int, int]:
+    """Rewrite the baseline at ``path`` from ``findings``, merging.
+
+    * entries for files inside the linted scope are replaced by the
+      current findings, **preserving the reason** of any entry whose
+      ``(rule, path, line_text)`` key still matches;
+    * entries for files outside the linted scope are kept verbatim —
+      unless their file no longer exists on disk, in which case they
+      are pruned (a deleted file can never match again, so keeping the
+      entry is permanent stale noise).
+
+    Returns ``(written, pruned)`` entry counts.
+    """
+    existing: List[dict] = []
+    if Path(path).is_file():
+        existing = load_baseline(path)
+
+    linted_rel = {relpath_of(f) for f in linted_files}
+    # Filesystem prefixes that package-relative paths resolve against
+    # (``/repo/src/`` for ``/repo/src/repro/x.py`` -> ``repro/x.py``).
+    roots: Set[str] = set()
+    for file in linted_files:
+        rel = relpath_of(file)
+        fs = Path(file).resolve().as_posix()
+        if fs.endswith(rel):
+            roots.add(fs[:len(fs) - len(rel)])
+
+    reasons: Dict[tuple, str] = {}
+    keep_outside: List[dict] = []
+    pruned = 0
+    for entry in existing:
+        key = (entry["rule"], entry["path"], entry["line_text"])
+        reasons.setdefault(key, entry.get(
+            "reason", "grandfathered; justify or fix"))
+        if entry["path"] in linted_rel:
+            continue  # refreshed from the current findings below
+        exists = (any(Path(root + entry["path"]).is_file()
+                      for root in roots) if roots else True)
+        if exists:
+            keep_outside.append(entry)
+        else:
+            pruned += 1
+
+    seen = set()
+    entries: List[dict] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = finding.baseline_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({
+            "rule": finding.rule,
+            "path": finding.path,
+            "line_text": finding.line_text,
+            "reason": reasons.get(key, "grandfathered; justify or fix"),
+        })
+    for entry in keep_outside:
+        key = (entry["rule"], entry["path"], entry["line_text"])
+        if key not in seen:
+            seen.add(key)
+            entries.append(entry)
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["line_text"]))
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False)
+                          + "\n")
+    return len(entries), pruned
+
+
 def find_default_baseline(paths: Sequence[Union[str, Path]]
                           ) -> Optional[Path]:
     """Walk up from the linted paths looking for the committed baseline
